@@ -1,0 +1,67 @@
+// Ablation: cleaning-policy comparison at a fixed interval — the paper's
+// written-bit heuristic vs naive write-back-everything, a cache-decay-style
+// 2-bit counter (Kaxiras et al., the paper's inspiration), and eager
+// write-back on an idle bus (Lee et al., cited as related work). Shows the
+// dirty%-vs-traffic frontier each policy reaches.
+//
+//   ablation_cleaning_policy [--interval=1M] [--suite=all] ...
+#include "bench_util.hpp"
+
+using namespace aeep;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bench::CommonOptions opt = bench::parse_common(args);
+  const u64 interval = args.get_u64("interval", u64{1} << 20);
+  bench::reject_unknown_flags(args);
+  bench::print_header("Ablation: cleaning policies", opt);
+  std::printf("cleaning interval: %s cycles\n\n",
+              bench::interval_label(interval).c_str());
+
+  struct Policy {
+    protect::CleaningPolicy kind;
+    unsigned decay_threshold;
+  };
+  const std::vector<Policy> policies = {
+      {protect::CleaningPolicy::kWrittenBit, 2},
+      {protect::CleaningPolicy::kNaive, 2},
+      {protect::CleaningPolicy::kDecayCounter, 2},
+      {protect::CleaningPolicy::kDecayCounter, 4},
+      {protect::CleaningPolicy::kEagerIdle, 2},
+  };
+
+  TextTable table({"policy", "avg dirty%", "Clean-WB/ls", "total WB/ls",
+                   "avg IPC"});
+  const auto benchmarks = bench::suite_benchmarks(opt.suite);
+  for (const auto& pol : policies) {
+    double dirty = 0, cleanwb = 0, total = 0, ipc = 0;
+    for (const auto& name : benchmarks) {
+      sim::ExperimentOptions eo;
+      eo.scheme = protect::SchemeKind::kNonUniform;
+      eo.cleaning_interval = interval;
+      eo.cleaning_policy = pol.kind;
+      eo.decay_threshold = pol.decay_threshold;
+      eo.instructions = opt.instructions;
+      eo.warmup_instructions = opt.warmup;
+      eo.seed = opt.seed;
+      const sim::RunResult r = sim::run_benchmark(name, eo);
+      dirty += r.avg_dirty_fraction;
+      const double ls = static_cast<double>(r.core.loads_stores());
+      cleanwb += ls ? static_cast<double>(r.wb_cleaning) / ls : 0.0;
+      total += r.wb_per_ls();
+      ipc += r.ipc();
+    }
+    const double n = static_cast<double>(benchmarks.size());
+    std::string label = to_string(pol.kind);
+    if (pol.kind == protect::CleaningPolicy::kDecayCounter)
+      label += "(t=" + std::to_string(pol.decay_threshold) + ")";
+    table.add_row({label, TextTable::pct(dirty / n, 1),
+                   TextTable::pct(cleanwb / n, 2), TextTable::pct(total / n, 2),
+                   TextTable::fmt(ipc / n, 3)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nwritten-bit is the paper's 1-bit decay counter: nearly the"
+              " dirty reduction of naive cleaning\nwith less premature"
+              " traffic; higher decay thresholds trade dirty%% for traffic.\n");
+  return 0;
+}

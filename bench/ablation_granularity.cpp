@@ -1,0 +1,113 @@
+// Ablation: ECC protection granularity. The paper (and Itanium) uses 8
+// check bits per 64 data bits (12.5%). Wider granules amortise check bits
+// (SECDED over 512 bits costs 2.5%) but correct only one error per granule
+// — this bench quantifies both sides: the area column analytically, the
+// multi-bit vulnerability by Monte-Carlo double-strike injection through
+// the real width-parameterised codec.
+//
+//   ablation_granularity [--trials=20000] [--seed=42]
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "ecc/wide_secded.hpp"
+#include "protect/area_model.hpp"
+
+using namespace aeep;
+
+namespace {
+
+/// Fraction of uniformly-placed double strikes in a 64-byte line that a
+/// per-granule SECDED arrangement fails to correct (both strikes in one
+/// granule -> detected-double).
+/// Extract granule `g` of the 512-bit line into LSB-packed words.
+std::vector<u64> extract_granule(const std::vector<u64>& line, unsigned g,
+                                 unsigned granule_bits) {
+  std::vector<u64> out((granule_bits + 63) / 64, 0);
+  const unsigned base = g * granule_bits;
+  for (unsigned b = 0; b < granule_bits; ++b) {
+    const unsigned src = base + b;
+    const u64 bit = (line[src / 64] >> (src % 64)) & 1u;
+    out[b / 64] |= bit << (b % 64);
+  }
+  return out;
+}
+
+void implant_granule(std::vector<u64>& line, unsigned g, unsigned granule_bits,
+                     const std::vector<u64>& packed) {
+  const unsigned base = g * granule_bits;
+  for (unsigned b = 0; b < granule_bits; ++b) {
+    const unsigned dst = base + b;
+    const u64 bit = (packed[b / 64] >> (b % 64)) & 1u;
+    line[dst / 64] =
+        (line[dst / 64] & ~(u64{1} << (dst % 64))) | (bit << (dst % 64));
+  }
+}
+
+double double_strike_due_rate(unsigned granule_bits, u64 trials, u64 seed) {
+  const ecc::WideSecdedCodec codec(granule_bits);
+  const unsigned granules = 512 / granule_bits;
+  Xorshift64Star rng(seed);
+  u64 due = 0;
+  std::vector<u64> data(8), golden(8);
+  for (u64 t = 0; t < trials; ++t) {
+    for (auto& w : data) w = rng.next();
+    golden = data;
+    // Encode every granule.
+    std::vector<u64> checks(granules);
+    for (unsigned g = 0; g < granules; ++g) {
+      checks[g] = codec.encode(extract_granule(data, g, granule_bits));
+    }
+    // Two distinct strikes anywhere in the 512 data bits.
+    const unsigned b1 = static_cast<unsigned>(rng.next_below(512));
+    unsigned b2 = b1;
+    while (b2 == b1) b2 = static_cast<unsigned>(rng.next_below(512));
+    data[b1 / 64] ^= u64{1} << (b1 % 64);
+    data[b2 / 64] ^= u64{1} << (b2 % 64);
+    // Decode every granule (repairing singles); any detected-double or
+    // residual corruption counts as a failure.
+    bool failed = false;
+    for (unsigned g = 0; g < granules; ++g) {
+      std::vector<u64> packed = extract_granule(data, g, granule_bits);
+      const auto r = codec.decode(packed, checks[g]);
+      if (r.status == ecc::DecodeStatus::kDetectedDouble) failed = true;
+      implant_granule(data, g, granule_bits, packed);
+    }
+    if (!failed && data != golden) failed = true;  // would be SDC
+    if (failed) ++due;
+  }
+  return static_cast<double>(due) / static_cast<double>(trials);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const u64 trials = args.get_u64("trials", 20000);
+  const u64 seed = args.get_u64("seed", 42);
+  std::printf("=== Ablation: SECDED protection granularity (64B line) ===\n\n");
+
+  const cache::CacheGeometry geom = cache::kL2Geometry;
+  TextTable table({"granule", "check bits/line", "overhead", "L2 ECC total",
+                   "2-strike DUE rate"});
+  for (const unsigned g : {32u, 64u, 128u, 256u, 512u}) {
+    const unsigned cb = ecc::WideSecdedCodec::check_bits_for(g);
+    const unsigned per_line = cb * (512 / g);
+    const double overhead = static_cast<double>(per_line) / 512.0;
+    const double total_kb =
+        static_cast<double>(geom.total_lines()) * per_line / 8.0 / 1024.0;
+    const double due = double_strike_due_rate(g, trials, seed + g);
+    table.add_row({std::to_string(g) + "b", std::to_string(per_line),
+                   TextTable::pct(overhead, 1),
+                   TextTable::fmt(total_kb, 0) + "KB",
+                   TextTable::pct(due, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nthe paper's 64b granule (12.5%%, the Itanium arrangement)"
+              " balances area against the\nodds that two strikes land in one"
+              " granule; 512b granules cost 4x less storage but\nturn every"
+              " in-line double strike into a DUE.\n");
+  return 0;
+}

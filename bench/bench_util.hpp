@@ -1,0 +1,69 @@
+// Shared helpers for the figure-regeneration benches: common CLI options,
+// run headers, and the cleaning-interval ladder the paper sweeps.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+namespace aeep::bench {
+
+struct CommonOptions {
+  u64 instructions = 2'000'000;
+  u64 warmup = 2'000'000;
+  u64 seed = 42;
+  std::string suite = "all";  ///< all | fp | int
+};
+
+inline CommonOptions parse_common(const CliArgs& args) {
+  CommonOptions o;
+  o.instructions = args.get_u64("instructions", o.instructions);
+  o.warmup = args.get_u64("warmup", o.warmup);
+  o.seed = args.get_u64("seed", o.seed);
+  o.suite = args.get("suite", o.suite);
+  return o;
+}
+
+inline std::vector<std::string> suite_benchmarks(const std::string& suite) {
+  if (suite == "fp") return sim::fp_benchmarks();
+  if (suite == "int") return sim::int_benchmarks();
+  return sim::all_benchmarks();
+}
+
+inline void reject_unknown_flags(const CliArgs& args) {
+  const auto unused = args.unused();
+  if (!unused.empty()) {
+    std::fprintf(stderr, "unknown flag(s):");
+    for (const auto& k : unused) std::fprintf(stderr, " --%s", k.c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
+}
+
+inline void print_header(const char* experiment, const CommonOptions& o) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf("machine: Table-1 four-issue OoO, 1MB 4-way 64B write-back L2\n");
+  std::printf("run: %llu committed micro-ops after %llu warm-up, seed %llu\n\n",
+              static_cast<unsigned long long>(o.instructions),
+              static_cast<unsigned long long>(o.warmup),
+              static_cast<unsigned long long>(o.seed));
+}
+
+/// The paper's cleaning-interval ladder: 64K to 4M cycles, x4 steps.
+inline std::vector<u64> cleaning_intervals() {
+  return {u64{64} << 10, u64{256} << 10, u64{1} << 20, u64{4} << 20};
+}
+
+inline std::string interval_label(u64 interval) {
+  if (interval == 0) return "org";
+  if (interval >= (u64{1} << 20) && interval % (u64{1} << 20) == 0)
+    return std::to_string(interval >> 20) + "M";
+  return std::to_string(interval >> 10) + "K";
+}
+
+}  // namespace aeep::bench

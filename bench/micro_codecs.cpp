@@ -1,0 +1,98 @@
+// google-benchmark microbenchmarks for the hot primitives: SECDED and
+// parity encode/decode, cache probe/fill, predictor lookup and the zipf
+// sampler. These quantify simulator throughput, not the paper's results.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hpp"
+#include "common/rng.hpp"
+#include "cpu/branch_predictor.hpp"
+#include "ecc/parity.hpp"
+#include "ecc/secded.hpp"
+
+using namespace aeep;
+
+static void BM_SecdedEncode(benchmark::State& state) {
+  const ecc::SecdedCodec codec;
+  Xorshift64Star rng(1);
+  u64 x = rng.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(x));
+    x = x * 6364136223846793005ull + 1;
+  }
+}
+BENCHMARK(BM_SecdedEncode);
+
+static void BM_SecdedDecodeClean(benchmark::State& state) {
+  const ecc::SecdedCodec codec;
+  Xorshift64Star rng(2);
+  const u64 data = rng.next();
+  const u64 check = codec.encode(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(data, check));
+  }
+}
+BENCHMARK(BM_SecdedDecodeClean);
+
+static void BM_SecdedDecodeCorrect(benchmark::State& state) {
+  const ecc::SecdedCodec codec;
+  Xorshift64Star rng(3);
+  const u64 data = rng.next();
+  const u64 check = codec.encode(data);
+  unsigned bit = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(flip_bit(data, bit), check));
+    bit = (bit + 1) & 63;
+  }
+}
+BENCHMARK(BM_SecdedDecodeCorrect);
+
+static void BM_ParityEncode(benchmark::State& state) {
+  const ecc::ParityCodec codec;
+  u64 x = 0x123456789ABCDEFull;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(x));
+    x = x * 6364136223846793005ull + 1;
+  }
+}
+BENCHMARK(BM_ParityEncode);
+
+static void BM_CacheProbeHit(benchmark::State& state) {
+  cache::Cache c(cache::kL2Geometry);
+  Xorshift64Star rng(4);
+  std::vector<Addr> addrs;
+  for (int i = 0; i < 1024; ++i) {
+    const Addr a = (rng.next() % (1 * MiB)) & ~Addr{63};
+    const auto pr = c.probe(a);
+    const auto v = c.pick_victim(pr.set);
+    c.install(pr.set, v.way, a, 0);
+    addrs.push_back(a);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.probe(addrs[i & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CacheProbeHit);
+
+static void BM_PredictorUpdate(benchmark::State& state) {
+  cpu::BranchPredictor bp;
+  Xorshift64Star rng(5);
+  Addr pc = 0x400000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bp.update(pc, rng.chance(0.8), pc - 64));
+    pc += 4;
+    if (pc > 0x410000) pc = 0x400000;
+  }
+}
+BENCHMARK(BM_PredictorUpdate);
+
+static void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler z(16384, 0.9, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.sample());
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+BENCHMARK_MAIN();

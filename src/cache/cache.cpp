@@ -1,0 +1,170 @@
+#include "cache/cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aeep::cache {
+
+Cache::Cache(const CacheGeometry& geometry, ReplacementPolicy replacement,
+             u64 seed)
+    : geom_(geometry), repl_(replacement), rng_(seed) {
+  geom_.validate();
+  lines_.resize(geom_.total_lines());
+  payload_.resize(geom_.total_lines() * geom_.words_per_line(), 0);
+}
+
+ProbeResult Cache::probe(Addr addr) const {
+  const u64 set = geom_.set_index(addr);
+  const u64 tag = geom_.tag_of(addr);
+  for (unsigned w = 0; w < geom_.ways; ++w) {
+    const CacheLineMeta& m = lines_[line_index(set, w)];
+    if (m.valid && m.tag == tag) return {true, set, w};
+  }
+  return {false, set, 0};
+}
+
+void Cache::touch(u64 set, unsigned way, Cycle now) {
+  if (repl_ == ReplacementPolicy::kLru)
+    lines_[line_index(set, way)].stamp = now;
+}
+
+Victim Cache::pick_victim(u64 set) {
+  // Prefer an invalid way.
+  for (unsigned w = 0; w < geom_.ways; ++w) {
+    if (!lines_[line_index(set, w)].valid) {
+      Victim v;
+      v.valid = false;
+      v.way = w;
+      return v;
+    }
+  }
+  unsigned choice = 0;
+  switch (repl_) {
+    case ReplacementPolicy::kLru:
+    case ReplacementPolicy::kFifo: {
+      Cycle best = lines_[line_index(set, 0)].stamp;
+      for (unsigned w = 1; w < geom_.ways; ++w) {
+        const Cycle s = lines_[line_index(set, w)].stamp;
+        if (s < best) {
+          best = s;
+          choice = w;
+        }
+      }
+      break;
+    }
+    case ReplacementPolicy::kRandom:
+      choice = static_cast<unsigned>(rng_.next_below(geom_.ways));
+      break;
+  }
+  const CacheLineMeta& m = lines_[line_index(set, choice)];
+  Victim v;
+  v.valid = true;
+  v.addr = geom_.addr_of(m.tag, set);
+  v.dirty = m.dirty;
+  v.written = m.written;
+  v.way = choice;
+  return v;
+}
+
+void Cache::install(u64 set, unsigned way, Addr addr, Cycle now,
+                    std::span<const u64> payload) {
+  assert(way < geom_.ways);
+  assert(geom_.set_index(addr) == set);
+  CacheLineMeta& m = lines_[line_index(set, way)];
+  if (m.valid) {
+    ++stats_.evictions;
+    if (m.dirty) {
+      ++stats_.dirty_evictions;
+      --dirty_count_;
+    }
+  }
+  m.tag = geom_.tag_of(addr);
+  m.valid = true;
+  m.dirty = false;
+  m.written = false;
+  m.stamp = now;
+  ++stats_.fills;
+
+  auto dst = data(set, way);
+  if (!payload.empty()) {
+    assert(payload.size() == dst.size());
+    std::copy(payload.begin(), payload.end(), dst.begin());
+  }
+}
+
+void Cache::invalidate(u64 set, unsigned way) {
+  CacheLineMeta& m = lines_[line_index(set, way)];
+  if (m.valid && m.dirty) --dirty_count_;
+  m.valid = false;
+  m.dirty = false;
+  m.written = false;
+}
+
+void Cache::mark_dirty(u64 set, unsigned way) {
+  CacheLineMeta& m = lines_[line_index(set, way)];
+  assert(m.valid);
+  if (!m.dirty) {
+    m.dirty = true;
+    ++dirty_count_;
+  }
+}
+
+void Cache::clear_dirty(u64 set, unsigned way) {
+  CacheLineMeta& m = lines_[line_index(set, way)];
+  if (m.valid && m.dirty) {
+    m.dirty = false;
+    --dirty_count_;
+  }
+}
+
+void Cache::set_written(u64 set, unsigned way, bool value) {
+  CacheLineMeta& m = lines_[line_index(set, way)];
+  assert(m.valid);
+  m.written = value;
+}
+
+const CacheLineMeta& Cache::meta(u64 set, unsigned way) const {
+  return lines_[line_index(set, way)];
+}
+
+Addr Cache::line_addr(u64 set, unsigned way) const {
+  const CacheLineMeta& m = lines_[line_index(set, way)];
+  assert(m.valid);
+  return geom_.addr_of(m.tag, set);
+}
+
+std::optional<unsigned> Cache::find_dirty_way(u64 set) const {
+  for (unsigned w = 0; w < geom_.ways; ++w) {
+    const CacheLineMeta& m = lines_[line_index(set, w)];
+    if (m.valid && m.dirty) return w;
+  }
+  return std::nullopt;
+}
+
+unsigned Cache::count_dirty_in_set(u64 set) const {
+  unsigned n = 0;
+  for (unsigned w = 0; w < geom_.ways; ++w) {
+    const CacheLineMeta& m = lines_[line_index(set, w)];
+    if (m.valid && m.dirty) ++n;
+  }
+  return n;
+}
+
+std::span<u64> Cache::data(u64 set, unsigned way) {
+  const std::size_t base = line_index(set, way) * geom_.words_per_line();
+  return {payload_.data() + base, geom_.words_per_line()};
+}
+
+std::span<const u64> Cache::data(u64 set, unsigned way) const {
+  const std::size_t base = line_index(set, way) * geom_.words_per_line();
+  return {payload_.data() + base, geom_.words_per_line()};
+}
+
+void Cache::reset() {
+  for (auto& m : lines_) m = CacheLineMeta{};
+  std::fill(payload_.begin(), payload_.end(), 0);
+  dirty_count_ = 0;
+  stats_ = {};
+}
+
+}  // namespace aeep::cache

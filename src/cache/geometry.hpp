@@ -1,0 +1,46 @@
+// Cache geometry: size / associativity / line size and the address slicing
+// they induce. All three are required to be powers of two.
+#pragma once
+
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "common/types.hpp"
+
+namespace aeep::cache {
+
+struct CacheGeometry {
+  u64 size_bytes = 1 * MiB;
+  unsigned ways = 4;
+  unsigned line_bytes = 64;
+
+  constexpr u64 num_sets() const { return size_bytes / (static_cast<u64>(ways) * line_bytes); }
+  constexpr u64 total_lines() const { return num_sets() * ways; }
+  constexpr unsigned words_per_line() const { return line_bytes / 8; }
+
+  constexpr unsigned offset_bits() const { return log2_exact(line_bytes); }
+  constexpr unsigned index_bits() const { return log2_exact(num_sets()); }
+
+  constexpr Addr line_base(Addr a) const { return a & ~static_cast<Addr>(line_bytes - 1); }
+  constexpr u64 set_index(Addr a) const { return (a >> offset_bits()) & (num_sets() - 1); }
+  constexpr u64 tag_of(Addr a) const { return a >> (offset_bits() + index_bits()); }
+  constexpr Addr addr_of(u64 tag, u64 set) const {
+    return (tag << (offset_bits() + index_bits())) | (set << offset_bits());
+  }
+
+  /// Throws if the geometry is not realisable.
+  void validate() const {
+    if (!is_pow2(size_bytes) || !is_pow2(ways) || !is_pow2(line_bytes))
+      throw std::invalid_argument("cache geometry fields must be powers of two");
+    if (line_bytes < 8) throw std::invalid_argument("line must be >= 8 bytes");
+    if (static_cast<u64>(ways) * line_bytes > size_bytes)
+      throw std::invalid_argument("cache smaller than one set");
+  }
+};
+
+/// Table-1 geometries from the paper.
+inline constexpr CacheGeometry kL1IGeometry{32 * KiB, 4, 32};
+inline constexpr CacheGeometry kL1DGeometry{32 * KiB, 4, 32};
+inline constexpr CacheGeometry kL2Geometry{1 * MiB, 4, 64};
+
+}  // namespace aeep::cache

@@ -1,0 +1,60 @@
+#include "cache/write_buffer.hpp"
+
+#include <cassert>
+
+#include "common/bitops.hpp"
+
+namespace aeep::cache {
+
+WriteBuffer::WriteBuffer(unsigned entries, unsigned line_bytes)
+    : capacity_(entries), line_bytes_(line_bytes) {
+  assert(entries > 0);
+  assert(is_pow2(line_bytes) && line_bytes >= 8);
+}
+
+WriteBuffer::PushResult WriteBuffer::push(Addr addr, u64 value) {
+  const Addr line = line_of(addr);
+  const unsigned word = static_cast<unsigned>((addr - line) / 8);
+  // Fully associative search; 16 entries, so a linear scan matches the
+  // hardware CAM and is cheap.
+  for (auto& e : fifo_) {
+    if (e.line == line) {
+      e.word_mask |= u64{1} << word;
+      e.words[word] = value;
+      ++stats_.stores;
+      ++stats_.coalesced;
+      return PushResult::kCoalesced;
+    }
+  }
+  if (full()) {
+    ++stats_.full_events;
+    return PushResult::kFull;
+  }
+  WriteBufferEntry e;
+  e.line = line;
+  e.word_mask = u64{1} << word;
+  e.words.assign(line_bytes_ / 8, 0);
+  e.words[word] = value;
+  fifo_.push_back(std::move(e));
+  ++stats_.stores;
+  return PushResult::kNew;
+}
+
+const WriteBufferEntry* WriteBuffer::front() const {
+  return fifo_.empty() ? nullptr : &fifo_.front();
+}
+
+WriteBufferEntry WriteBuffer::pop() {
+  assert(!fifo_.empty());
+  WriteBufferEntry e = std::move(fifo_.front());
+  fifo_.pop_front();
+  ++stats_.drains;
+  return e;
+}
+
+void WriteBuffer::reset() {
+  fifo_.clear();
+  stats_ = {};
+}
+
+}  // namespace aeep::cache

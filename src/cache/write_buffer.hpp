@@ -1,0 +1,69 @@
+// Fully-associative coalescing write buffer between the write-through L1D
+// and the L2 (16 entries in the paper's setup, per Skadron & Clark).
+//
+// Stores enqueue at 8-byte-word granularity and are grouped into entries at
+// L2-line granularity; a store to a line already buffered coalesces into
+// the existing entry (no extra L2 traffic). Each entry carries the written
+// words and a valid mask so the drain applies exactly the stored bytes.
+// Timing (when entries drain, full-buffer stalls) is owned by the memory
+// hierarchy controller; this class is the logical CAM + FIFO.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace aeep::cache {
+
+struct WriteBufferEntry {
+  Addr line = 0;            ///< line base address (L2 line granularity)
+  u64 word_mask = 0;        ///< bit w set: words[w] holds store data
+  std::vector<u64> words;   ///< line_bytes/8 slots
+};
+
+struct WriteBufferStats {
+  u64 stores = 0;      ///< stores accepted (new entry or coalesced)
+  u64 coalesced = 0;   ///< stores merged into an existing entry
+  u64 drains = 0;      ///< entries handed to L2
+  u64 full_events = 0; ///< stores that found the buffer full (before retry)
+};
+
+class WriteBuffer {
+ public:
+  explicit WriteBuffer(unsigned entries = 16, unsigned line_bytes = 64);
+
+  enum class PushResult { kNew, kCoalesced, kFull };
+
+  /// Present a store of `value` to (8-byte-aligned) `addr`.
+  PushResult push(Addr addr, u64 value);
+
+  /// Oldest entry (does not remove).
+  const WriteBufferEntry* front() const;
+
+  /// Remove the oldest entry after draining it to L2.
+  WriteBufferEntry pop();
+
+  bool full() const { return fifo_.size() >= capacity_; }
+  bool empty() const { return fifo_.empty(); }
+  std::size_t size() const { return fifo_.size(); }
+  unsigned capacity() const { return capacity_; }
+  unsigned line_bytes() const { return line_bytes_; }
+
+  const WriteBufferStats& stats() const { return stats_; }
+  /// Drop all entries and zero statistics.
+  void reset();
+  /// Zero statistics only (entries stay).
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  Addr line_of(Addr a) const { return a & ~static_cast<Addr>(line_bytes_ - 1); }
+
+  unsigned capacity_;
+  unsigned line_bytes_;
+  std::deque<WriteBufferEntry> fifo_;  ///< oldest first
+  WriteBufferStats stats_;
+};
+
+}  // namespace aeep::cache

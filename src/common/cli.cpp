@@ -1,0 +1,75 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace aeep {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_[arg.substr(2)] = "true";
+      } else {
+        kv_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positionals_.push_back(std::move(arg));
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  queried_[key] = true;
+  return kv_.count(key) != 0;
+}
+
+std::string CliArgs::get(const std::string& key, const std::string& def) const {
+  queried_[key] = true;
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+u64 CliArgs::get_u64(const std::string& key, u64 def) const {
+  queried_[key] = true;
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  // Accept suffixes K/M/G (binary) for convenience: --interval=1M.
+  const std::string& s = it->second;
+  std::size_t pos = 0;
+  u64 v = std::stoull(s, &pos);
+  if (pos < s.size()) {
+    switch (s[pos]) {
+      case 'k': case 'K': v <<= 10; break;
+      case 'm': case 'M': v <<= 20; break;
+      case 'g': case 'G': v <<= 30; break;
+      default: throw std::invalid_argument("bad numeric suffix in --" + key + "=" + s);
+    }
+  }
+  return v;
+}
+
+double CliArgs::get_double(const std::string& key, double def) const {
+  queried_[key] = true;
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::stod(it->second);
+}
+
+bool CliArgs::get_bool(const std::string& key, bool def) const {
+  queried_[key] = true;
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> CliArgs::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    if (!queried_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace aeep

@@ -1,0 +1,36 @@
+// Minimal --key=value command-line parsing for benches and examples.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace aeep {
+
+/// Parses `--key=value` and bare `--flag` arguments. Unrecognised positional
+/// arguments are retained in positionals().
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def) const;
+  u64 get_u64(const std::string& key, u64 def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+  /// Keys that were supplied but never queried; benches use this to reject
+  /// typos in flag names.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace aeep

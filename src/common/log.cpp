@@ -1,0 +1,38 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace aeep {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level = level; }
+LogLevel Log::level() { return g_level; }
+
+void Log::set_level(const std::string& name) {
+  if (name == "debug") g_level = LogLevel::Debug;
+  else if (name == "info") g_level = LogLevel::Info;
+  else if (name == "warn") g_level = LogLevel::Warn;
+  else if (name == "error") g_level = LogLevel::Error;
+  else if (name == "off") g_level = LogLevel::Off;
+}
+
+void Log::write(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace aeep

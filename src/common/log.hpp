@@ -1,0 +1,43 @@
+// Leveled logging to stderr. Off by default above Warn so simulation output
+// stays clean; benches raise the level with --log=debug.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace aeep {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  static void set_level(const std::string& name);  // "debug", "info", ...
+
+  static void write(LogLevel level, const std::string& msg);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, ss_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::Debug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::Info); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::Warn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::Error); }
+
+}  // namespace aeep

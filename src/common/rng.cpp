@@ -1,0 +1,44 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace aeep {
+
+// Rejection-inversion sampling for Zipf (Hormann & Derflinger). O(1) per
+// sample with no table, exact for any n and s != 1 (s == 1 handled via the
+// log special case of the integral).
+ZipfSampler::ZipfSampler(u64 n, double s, u64 seed)
+    : n_(n ? n : 1), s_(s), rng_(seed) {
+  h_integral_n_ = h_integral(static_cast<double>(n_) + 0.5);
+  h_integral_1_ = h_integral(0.5);
+}
+
+double ZipfSampler::h(double x) const { return std::exp(-s_ * std::log(x)); }
+
+double ZipfSampler::h_integral(double x) const {
+  const double log_x = std::log(x);
+  if (std::abs(1.0 - s_) < 1e-12) return log_x;
+  return (std::exp((1.0 - s_) * log_x) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::h_integral_inverse(double x) const {
+  if (std::abs(1.0 - s_) < 1e-12) return std::exp(x);
+  double t = x * (1.0 - s_) + 1.0;
+  if (t < 1e-300) t = 1e-300;
+  return std::exp(std::log(t) / (1.0 - s_));
+}
+
+u64 ZipfSampler::sample() {
+  for (;;) {
+    const double u =
+        h_integral_n_ + rng_.next_double() * (h_integral_1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    u64 k = static_cast<u64>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (u >= h_integral(kd + 0.5) - h(kd)) return k - 1;  // 0-based rank
+  }
+}
+
+}  // namespace aeep

@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// All stochastic behaviour (workload address streams, fault injection sites,
+// branch-outcome noise) flows from instances of Xorshift64Star seeded by the
+// run configuration, so any run is exactly reproducible.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace aeep {
+
+/// xorshift64* generator (Vigna). Small state, good quality for simulation.
+class Xorshift64Star {
+ public:
+  explicit Xorshift64Star(u64 seed = 0x9E3779B97F4A7C15ull)
+      : state_(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  /// Next raw 64-bit value.
+  u64 next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  u64 next_below(u64 bound) {
+    assert(bound != 0);
+    // Modulo bias is negligible for simulation bounds (<< 2^64).
+    return next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Geometric-ish: number of trials until success with probability p (>= 1).
+  u64 next_geometric(double p) {
+    assert(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) return 1;
+    double u = next_double();
+    if (u <= 0.0) u = 1e-18;
+    return 1 + static_cast<u64>(std::log(u) / std::log1p(-p));
+  }
+
+  /// Reseed in place.
+  void seed(u64 s) { state_ = s ? s : 0x9E3779B97F4A7C15ull; }
+
+ private:
+  u64 state_;
+};
+
+/// Zipf-distributed sampler over {0, .., n-1} with exponent s.
+/// Used by workload generators to model skewed page popularity.
+class ZipfSampler {
+ public:
+  ZipfSampler(u64 n, double s, u64 seed);
+
+  u64 sample();
+
+  u64 n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  u64 n_;
+  double s_;
+  double h_integral_n_;
+  double h_integral_1_;
+  Xorshift64Star rng_;
+
+  double h_integral(double x) const;
+  double h_integral_inverse(double x) const;
+  double h(double x) const;
+};
+
+}  // namespace aeep

@@ -1,0 +1,71 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace aeep {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != '%' && c != 'e' && c != 'E')
+      return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_num) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      const bool right = align_num && looks_numeric(cell);
+      if (c) out << "  ";
+      if (right)
+        out << std::string(width[c] - cell.size(), ' ') << cell;
+      else
+        out << cell << std::string(width[c] - cell.size(), ' ');
+    }
+    out << '\n';
+  };
+  emit_row(header_, false);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < header_.size(); ++c) total += width[c] + (c ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row, true);
+  return out.str();
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace aeep

@@ -1,0 +1,28 @@
+// Plain-text table rendering for bench output. Every figure-reproduction
+// bench prints its series as an aligned table so results are diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aeep {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with column alignment; numeric-looking cells right-aligned.
+  std::string render() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aeep

@@ -1,0 +1,206 @@
+#include "cpu/core.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aeep::cpu {
+
+OutOfOrderCore::OutOfOrderCore(const CoreConfig& config, UopSource& source,
+                               MemoryInterface& memory)
+    : config_(config),
+      source_(&source),
+      mem_(&memory),
+      bp_(config.bp),
+      fu_(config.fu),
+      ruu_(config.ruu_entries) {
+  assert(config.width > 0);
+  assert(config.ruu_entries > 0 && config.lsq_entries > 0);
+}
+
+const OutOfOrderCore::RuuEntry* OutOfOrderCore::find_entry(u64 seq) const {
+  if (count_ == 0) return nullptr;
+  const u64 head_seq = ruu_[head_].seq;
+  if (seq < head_seq || seq >= head_seq + count_) return nullptr;
+  const unsigned idx =
+      static_cast<unsigned>((head_ + (seq - head_seq)) % config_.ruu_entries);
+  return &ruu_[idx];
+}
+
+bool OutOfOrderCore::dep_ready(u64 dep_seq) const {
+  const RuuEntry* e = find_entry(dep_seq);
+  if (e == nullptr) return true;  // already committed
+  return e->issued && e->complete_cycle <= now_;
+}
+
+bool OutOfOrderCore::deps_ready(const RuuEntry& e) const {
+  if (e.op.dep1 && e.seq >= e.op.dep1 && !dep_ready(e.seq - e.op.dep1))
+    return false;
+  if (e.op.dep2 && e.seq >= e.op.dep2 && !dep_ready(e.seq - e.op.dep2))
+    return false;
+  return true;
+}
+
+bool OutOfOrderCore::forwarding_store(const RuuEntry& load) const {
+  const u64 head_seq = ruu_[head_].seq;
+  const Addr word = load.op.mem_addr & ~Addr{7};
+  // Scan older window entries for a store to the same word.
+  for (u64 s = head_seq; s < load.seq; ++s) {
+    const RuuEntry* e = find_entry(s);
+    if (e && e->op.cls == OpClass::kStore &&
+        (e->op.mem_addr & ~Addr{7}) == word)
+      return true;
+  }
+  return false;
+}
+
+unsigned OutOfOrderCore::commit_stage() {
+  unsigned done = 0;
+  while (done < config_.width && count_ > 0) {
+    RuuEntry& e = ruu_[head_];
+    if (!e.issued || e.complete_cycle > now_) break;
+    if (e.op.cls == OpClass::kStore) {
+      // Write-through path: the store leaves the pipeline only once the
+      // write buffer accepts it.
+      if (!mem_->store(now_, e.op.mem_addr, e.op.store_value)) {
+        ++stats_.commit_stall_wb_full;
+        break;
+      }
+      ++stats_.stores;
+      --lsq_count_;
+    } else if (e.op.cls == OpClass::kLoad) {
+      ++stats_.loads;
+      --lsq_count_;
+    } else if (e.op.cls == OpClass::kBranch) {
+      ++stats_.branches;
+    }
+    head_ = (head_ + 1) % config_.ruu_entries;
+    --count_;
+    ++stats_.committed;
+    ++done;
+  }
+  return done;
+}
+
+void OutOfOrderCore::issue_stage() {
+  unsigned issued = 0;
+  for (unsigned i = 0; i < count_ && issued < config_.width; ++i) {
+    RuuEntry& e = ruu_[(head_ + i) % config_.ruu_entries];
+    if (e.issued) continue;
+    if (!deps_ready(e)) continue;
+
+    const Cycle fu_done = fu_.try_issue(e.op.cls, now_);
+    if (fu_done == 0) continue;  // structural hazard
+
+    switch (e.op.cls) {
+      case OpClass::kLoad:
+        if (forwarding_store(e)) {
+          e.complete_cycle = now_ + 1;  // store-to-load forwarding
+        } else {
+          e.complete_cycle = mem_->load(now_, e.op.mem_addr);
+        }
+        break;
+      case OpClass::kStore:
+        // Address generation only; data goes to memory at commit.
+        e.complete_cycle = fu_done;
+        break;
+      default:
+        e.complete_cycle = fu_done;
+        break;
+    }
+    e.issued = true;
+    ++issued;
+
+    if (e.mispredicted && fetch_blocked_ && blocking_branch_seq_ == e.seq) {
+      // Redirect fetched the cycle after resolution.
+      fetch_ready_ = std::max(fetch_ready_, e.complete_cycle + 1);
+      fetch_blocked_ = false;
+    }
+  }
+}
+
+void OutOfOrderCore::dispatch_stage() {
+  unsigned dispatched = 0;
+  while (dispatched < config_.width && !fetchq_.empty() &&
+         count_ < config_.ruu_entries) {
+    if (is_mem(fetchq_.front().cls) && lsq_count_ >= config_.lsq_entries)
+      break;
+    const MicroOp op = fetchq_.front();
+    fetchq_.pop_front();
+
+    const unsigned idx = (head_ + count_) % config_.ruu_entries;
+    RuuEntry& e = ruu_[idx];
+    e = RuuEntry{};
+    e.op = op;
+    e.seq = next_seq_++;
+    if (is_mem(op.cls)) ++lsq_count_;
+
+    if (op.cls == OpClass::kBranch) {
+      const bool correct = bp_.update(op.pc, op.branch_taken, op.branch_target);
+      if (!correct) {
+        e.mispredicted = true;
+        // Squash everything fetched behind the branch and stop fetching
+        // until the branch resolves.
+        fetchq_.clear();
+        fetch_blocked_ = true;
+        blocking_branch_seq_ = e.seq;
+        cur_fetch_block_ = kNoAddr;  // refetch starts a new block
+      }
+    }
+
+    ++count_;
+    ++dispatched;
+    if (e.mispredicted) break;  // nothing valid behind it this cycle
+  }
+}
+
+void OutOfOrderCore::fetch_stage() {
+  if (fetch_blocked_) {
+    ++stats_.fetch_stall_cycles;
+    return;
+  }
+  if (now_ < fetch_ready_) {
+    ++stats_.fetch_stall_cycles;
+    return;
+  }
+  unsigned fetched = 0;
+  while (fetched < config_.width && fetchq_.size() < config_.fetch_queue) {
+    MicroOp op = source_->next();
+    const Addr block = op.pc / kFetchBlockBytes;
+    if (block != cur_fetch_block_) {
+      const Cycle ready = mem_->fetch(now_, op.pc);
+      cur_fetch_block_ = block;
+      if (ready > now_ + 1) {
+        // I-cache miss: this block's ops arrive when the fill completes.
+        fetch_ready_ = ready;
+        fetchq_.push_back(op);
+        return;
+      }
+    }
+    fetchq_.push_back(op);
+    ++fetched;
+  }
+}
+
+unsigned OutOfOrderCore::step() {
+  mem_->tick(now_);
+  const unsigned committed = commit_stage();
+  issue_stage();
+  dispatch_stage();
+  fetch_stage();
+  ++now_;
+  ++stats_.cycles;
+  return committed;
+}
+
+CoreStats OutOfOrderCore::run(u64 max_commits) {
+  while (stats_.committed < max_commits) step();
+  stats_.bp = bp_.stats();
+  return stats_;
+}
+
+void OutOfOrderCore::reset_stats() {
+  stats_ = {};
+  bp_.reset_stats();
+}
+
+}  // namespace aeep::cpu

@@ -1,0 +1,42 @@
+#include "cpu/func_units.hpp"
+
+namespace aeep::cpu {
+
+FuncUnitPool::FuncUnitPool(const FuPoolConfig& config) : config_(config) {
+  auto init = [](Bank& b, const FuClassConfig& c) {
+    b.units.resize(c.count);
+    b.latency = c.latency;
+    b.issue_interval = c.issue_interval;
+  };
+  init(int_alu_, config.int_alu);
+  init(int_mul_, config.int_mul);
+  init(fp_alu_, config.fp_alu);
+  init(fp_mul_, config.fp_mul);
+}
+
+FuncUnitPool::Bank& FuncUnitPool::bank_for(OpClass cls) {
+  switch (cls) {
+    case OpClass::kIntMul: return int_mul_;
+    case OpClass::kFpAlu: return fp_alu_;
+    case OpClass::kFpMul: return fp_mul_;
+    case OpClass::kIntAlu:
+    case OpClass::kLoad:
+    case OpClass::kStore:
+    case OpClass::kBranch:
+      return int_alu_;
+  }
+  return int_alu_;
+}
+
+Cycle FuncUnitPool::try_issue(OpClass cls, Cycle now) {
+  Bank& b = bank_for(cls);
+  for (Unit& u : b.units) {
+    if (u.next_free <= now) {
+      u.next_free = now + b.issue_interval;
+      return now + b.latency;
+    }
+  }
+  return 0;
+}
+
+}  // namespace aeep::cpu

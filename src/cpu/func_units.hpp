@@ -1,0 +1,54 @@
+// Functional-unit pool (Table 1: 4 integer ALUs, 1 integer mult/div,
+// 1 FP adder, 1 FP mult/div). Units are pipelined: each can accept one op
+// per cycle; results appear after the class latency.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+#include "cpu/uop.hpp"
+
+namespace aeep::cpu {
+
+struct FuClassConfig {
+  unsigned count = 1;
+  Cycle latency = 1;
+  Cycle issue_interval = 1;  ///< cycles between issues to the same unit
+};
+
+struct FuPoolConfig {
+  FuClassConfig int_alu{4, 1, 1};
+  FuClassConfig int_mul{1, 3, 1};
+  FuClassConfig fp_alu{1, 2, 1};
+  FuClassConfig fp_mul{1, 4, 1};
+};
+
+class FuncUnitPool {
+ public:
+  explicit FuncUnitPool(const FuPoolConfig& config = {});
+
+  /// Try to claim a unit for `cls` at `now`. Returns the result-ready cycle,
+  /// or 0 if no unit of that class is free this cycle. (Loads/stores/branches
+  /// use an integer ALU slot for address generation / compare.)
+  Cycle try_issue(OpClass cls, Cycle now);
+
+  const FuPoolConfig& config() const { return config_; }
+
+ private:
+  struct Unit {
+    Cycle next_free = 0;
+  };
+  struct Bank {
+    std::vector<Unit> units;
+    Cycle latency = 1;
+    Cycle issue_interval = 1;
+  };
+
+  Bank& bank_for(OpClass cls);
+
+  FuPoolConfig config_;
+  Bank int_alu_, int_mul_, fp_alu_, fp_mul_;
+};
+
+}  // namespace aeep::cpu

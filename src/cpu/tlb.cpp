@@ -1,0 +1,47 @@
+#include "cpu/tlb.hpp"
+
+#include <cassert>
+
+#include "common/bitops.hpp"
+
+namespace aeep::cpu {
+
+Tlb::Tlb(const TlbConfig& config)
+    : config_(config), sets_(config.entries / config.ways) {
+  assert(config.ways > 0 && config.entries % config.ways == 0);
+  assert(is_pow2(sets_) && is_pow2(config.page_bytes));
+  entries_.resize(config.entries);
+}
+
+Cycle Tlb::access(Addr vaddr, Cycle now) {
+  ++stats_.accesses;
+  const Addr vpn = vaddr / config_.page_bytes;
+  const unsigned set = static_cast<unsigned>(vpn & (sets_ - 1));
+  Entry* base = entries_.data() + static_cast<std::size_t>(set) * config_.ways;
+
+  for (unsigned w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].vpn == vpn) {
+      base[w].stamp = now;
+      return 0;
+    }
+  }
+  ++stats_.misses;
+  // LRU replace.
+  unsigned victim = 0;
+  for (unsigned w = 0; w < config_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = w;
+      break;
+    }
+    if (base[w].stamp < base[victim].stamp) victim = w;
+  }
+  base[victim] = {vpn, now, true};
+  return config_.miss_penalty;
+}
+
+void Tlb::reset() {
+  for (auto& e : entries_) e = Entry{};
+  stats_ = {};
+}
+
+}  // namespace aeep::cpu

@@ -1,0 +1,48 @@
+// Abstract micro-op stream driving the timing model.
+//
+// The simulator is trace-driven: a UopSource produces an unbounded stream of
+// micro-ops carrying everything timing needs — operation class, memory
+// address, ground-truth branch behaviour, and dependency distances — but no
+// instruction semantics (see DESIGN.md, substitution table).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace aeep::cpu {
+
+enum class OpClass : u8 {
+  kIntAlu,   ///< 1-cycle integer op (4 units)
+  kIntMul,   ///< integer multiply/divide (1 unit)
+  kFpAlu,    ///< floating-point add (1 unit)
+  kFpMul,    ///< floating-point multiply/divide (1 unit)
+  kLoad,
+  kStore,
+  kBranch,
+};
+
+struct MicroOp {
+  OpClass cls = OpClass::kIntAlu;
+  Addr pc = 0;              ///< instruction address (I-cache, predictor)
+  Addr mem_addr = 0;        ///< loads/stores: effective address (8B aligned)
+  u64 store_value = 0;      ///< stores: value written
+  bool branch_taken = false;    ///< branches: ground-truth outcome
+  Addr branch_target = 0;       ///< branches: ground-truth target
+  /// Register-dependency distances: this op reads the results of the ops
+  /// `dep1`/`dep2` positions earlier in the stream (0 = no dependency).
+  u8 dep1 = 0;
+  u8 dep2 = 0;
+};
+
+/// Unbounded micro-op producer.
+class UopSource {
+ public:
+  virtual ~UopSource() = default;
+  virtual MicroOp next() = 0;
+  virtual const char* name() const = 0;
+};
+
+constexpr bool is_mem(OpClass c) {
+  return c == OpClass::kLoad || c == OpClass::kStore;
+}
+
+}  // namespace aeep::cpu

@@ -1,0 +1,56 @@
+// Word-level error-code interface.
+//
+// All codecs in this library operate on 64-bit data words — the granularity
+// the paper uses ("every 64 bits of data requires 8 bits for ECC" / "1 bit
+// parity check code"). A codec computes `check_bits()` check bits for each
+// word; `decode` recomputes them from possibly-corrupted data+check and
+// reports what it can conclude.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace aeep::ecc {
+
+/// What a decoder concluded about a (data, check) pair.
+enum class DecodeStatus {
+  kOk,                 ///< no error indicated
+  kCorrectedSingle,    ///< single-bit error found and corrected
+  kDetectedDouble,     ///< double-bit error detected (uncorrectable)
+  kDetectedError,      ///< error detected, no correction capability (parity)
+};
+
+const char* to_string(DecodeStatus s);
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kOk;
+  u64 data = 0;        ///< corrected data word (valid unless kDetected*)
+  u64 check = 0;       ///< corrected check bits
+  /// For kCorrectedSingle: which codeword bit was flipped. Data bits are
+  /// reported as 0..63, check bits as 64..(64+check_bits-1).
+  unsigned corrected_bit = 0;
+};
+
+/// Abstract per-word codec.
+class WordCodec {
+ public:
+  virtual ~WordCodec() = default;
+
+  /// Human-readable name, e.g. "secded(72,64)".
+  virtual std::string name() const = 0;
+
+  /// Number of check bits per 64-bit data word.
+  virtual unsigned check_bits() const = 0;
+
+  /// True if decode can repair single-bit errors.
+  virtual bool corrects_single() const = 0;
+
+  /// Compute check bits for a data word.
+  virtual u64 encode(u64 data) const = 0;
+
+  /// Validate (and possibly correct) a stored word.
+  virtual DecodeResult decode(u64 data, u64 check) const = 0;
+};
+
+}  // namespace aeep::ecc

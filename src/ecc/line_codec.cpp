@@ -1,0 +1,55 @@
+#include "ecc/line_codec.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace aeep::ecc {
+
+namespace {
+int severity(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kOk: return 0;
+    case DecodeStatus::kCorrectedSingle: return 1;
+    case DecodeStatus::kDetectedError: return 2;
+    case DecodeStatus::kDetectedDouble: return 3;
+  }
+  return 4;
+}
+}  // namespace
+
+DecodeStatus worse(DecodeStatus a, DecodeStatus b) {
+  return severity(a) >= severity(b) ? a : b;
+}
+
+LineCodec::LineCodec(const WordCodec& word_codec, unsigned line_bytes)
+    : codec_(&word_codec), words_(line_bytes / 8) {
+  if (line_bytes == 0 || line_bytes % 8 != 0)
+    throw std::invalid_argument("line_bytes must be a positive multiple of 8");
+}
+
+std::vector<u64> LineCodec::encode(const std::vector<u64>& data) const {
+  assert(data.size() == words_);
+  std::vector<u64> check(words_);
+  for (unsigned w = 0; w < words_; ++w) check[w] = codec_->encode(data[w]);
+  return check;
+}
+
+LineDecodeResult LineCodec::decode(const ProtectedLine& line) const {
+  assert(line.data.size() == words_ && line.check.size() == words_);
+  LineDecodeResult out;
+  out.data.resize(words_);
+  for (unsigned w = 0; w < words_; ++w) {
+    const DecodeResult r = codec_->decode(line.data[w], line.check[w]);
+    out.data[w] = r.data;
+    out.worst = worse(out.worst, r.status);
+    switch (r.status) {
+      case DecodeStatus::kOk: ++out.words_ok; break;
+      case DecodeStatus::kCorrectedSingle: ++out.words_corrected; break;
+      case DecodeStatus::kDetectedError:
+      case DecodeStatus::kDetectedDouble: ++out.words_detected; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace aeep::ecc

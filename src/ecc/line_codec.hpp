@@ -1,0 +1,53 @@
+// Applies a word codec across an entire cache line.
+//
+// A 64-byte line is eight 64-bit words; each word carries its own check
+// bits (8b for SECDED, 1b for parity), matching how the paper counts area:
+// 64B line -> 64 ECC bits or 8 parity bits.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ecc/codec.hpp"
+
+namespace aeep::ecc {
+
+/// Data payload of a line plus its stored check bits, word by word.
+struct ProtectedLine {
+  std::vector<u64> data;    ///< line_bytes / 8 words
+  std::vector<u64> check;   ///< one check word per data word (low bits used)
+};
+
+/// Outcome of validating a full line: the worst per-word status plus counts.
+struct LineDecodeResult {
+  DecodeStatus worst = DecodeStatus::kOk;
+  unsigned words_ok = 0;
+  unsigned words_corrected = 0;
+  unsigned words_detected = 0;   ///< detected but not corrected
+  std::vector<u64> data;         ///< corrected payload
+};
+
+class LineCodec {
+ public:
+  /// `line_bytes` must be a positive multiple of 8.
+  LineCodec(const WordCodec& word_codec, unsigned line_bytes);
+
+  unsigned words_per_line() const { return words_; }
+  unsigned check_bits_per_line() const { return words_ * codec_->check_bits(); }
+  const WordCodec& word_codec() const { return *codec_; }
+
+  /// Compute check words for a payload of words_per_line() words.
+  std::vector<u64> encode(const std::vector<u64>& data) const;
+
+  /// Validate/correct a stored line.
+  LineDecodeResult decode(const ProtectedLine& line) const;
+
+ private:
+  const WordCodec* codec_;
+  unsigned words_;
+};
+
+/// Severity order for aggregating statuses (Ok < Corrected < Detected*).
+DecodeStatus worse(DecodeStatus a, DecodeStatus b);
+
+}  // namespace aeep::ecc

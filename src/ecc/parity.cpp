@@ -1,0 +1,54 @@
+#include "ecc/parity.hpp"
+
+#include "common/bitops.hpp"
+
+namespace aeep::ecc {
+
+const char* to_string(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kCorrectedSingle: return "corrected-single";
+    case DecodeStatus::kDetectedDouble: return "detected-double";
+    case DecodeStatus::kDetectedError: return "detected-error";
+  }
+  return "?";
+}
+
+std::string ParityCodec::name() const {
+  return odd_ ? "parity-odd(65,64)" : "parity-even(65,64)";
+}
+
+u64 ParityCodec::encode(u64 data) const {
+  const unsigned p = parity64(data);
+  return odd_ ? (p ^ 1u) : p;
+}
+
+DecodeResult ParityCodec::decode(u64 data, u64 check) const {
+  DecodeResult r;
+  r.data = data;
+  r.check = check & 1u;
+  const u64 expect = encode(data);
+  r.status = (expect == (check & 1u)) ? DecodeStatus::kOk
+                                      : DecodeStatus::kDetectedError;
+  return r;
+}
+
+u64 ByteParityCodec::encode(u64 data) const {
+  u64 check = 0;
+  for (unsigned b = 0; b < 8; ++b) {
+    const u64 byte = bits_of(data, b * 8, 8);
+    check |= static_cast<u64>(parity64(byte)) << b;
+  }
+  return check;
+}
+
+DecodeResult ByteParityCodec::decode(u64 data, u64 check) const {
+  DecodeResult r;
+  r.data = data;
+  r.check = check & 0xFFu;
+  r.status = (encode(data) == (check & 0xFFu)) ? DecodeStatus::kOk
+                                               : DecodeStatus::kDetectedError;
+  return r;
+}
+
+}  // namespace aeep::ecc

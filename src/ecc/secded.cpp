@@ -1,0 +1,105 @@
+#include "ecc/secded.hpp"
+
+#include "common/bitops.hpp"
+
+namespace aeep::ecc {
+
+SecdedCodec::SecdedCodec() {
+  data_of_pos_.fill(kUnusedPos);
+  unsigned d = 0;
+  for (unsigned p = 1; p <= kMaxPos; ++p) {
+    if (is_pow2(p)) {
+      data_of_pos_[p] = kCheckPos;
+    } else {
+      data_of_pos_[p] = d;
+      pos_of_data_[d] = p;
+      ++d;
+    }
+  }
+  // 71 positions minus 7 power-of-two check positions leaves exactly 64.
+  static_assert(kMaxPos - kHammingBits == 64);
+
+  // Column masks: check bit i covers every data bit whose codeword position
+  // has bit i set. Turns encode/syndrome into 7 AND+POPCNT operations.
+  for (unsigned i = 0; i < kHammingBits; ++i) {
+    u64 mask = 0;
+    for (unsigned dd = 0; dd < 64; ++dd) {
+      if ((pos_of_data_[dd] >> i) & 1u) mask |= u64{1} << dd;
+    }
+    column_mask_[i] = mask;
+  }
+}
+
+u64 SecdedCodec::encode(u64 data) const {
+  u64 check = 0;
+  for (unsigned i = 0; i < kHammingBits; ++i)
+    check |= static_cast<u64>(parity64(data & column_mask_[i])) << i;
+  // Overall parity over the 71 Hamming codeword bits (data + c0..c6).
+  const unsigned overall = parity64(data) ^ parity64(check & 0x7Fu);
+  check |= static_cast<u64>(overall) << kHammingBits;
+  return check;
+}
+
+u64 SecdedCodec::hamming_syndrome(u64 data, u64 check) const {
+  // Syndrome bit i = stored c_i XOR recomputed c_i; the syndrome equals the
+  // XOR of the positions of all erroneous bits.
+  u64 syndrome = 0;
+  for (unsigned i = 0; i < kHammingBits; ++i) {
+    const unsigned p =
+        bit_of(check, i) ^ parity64(data & column_mask_[i]);
+    syndrome |= static_cast<u64>(p) << i;
+  }
+  return syndrome;
+}
+
+unsigned SecdedCodec::parity_over_codeword(u64 data, u64 check) const {
+  return parity64(data) ^ parity64(check & 0xFFu);
+}
+
+DecodeResult SecdedCodec::decode(u64 data, u64 check) const {
+  DecodeResult r;
+  r.data = data;
+  r.check = check & 0xFFu;
+
+  const u64 syndrome = hamming_syndrome(data, check);
+  // With the stored overall-parity bit included, total parity of the full
+  // 72-bit codeword is 0 when intact; 1 indicates an odd number of flips.
+  const unsigned overall_mismatch = parity_over_codeword(data, check);
+
+  if (syndrome == 0 && overall_mismatch == 0) {
+    r.status = DecodeStatus::kOk;
+    return r;
+  }
+  if (syndrome == 0 && overall_mismatch == 1) {
+    // Only the overall parity bit itself flipped.
+    r.status = DecodeStatus::kCorrectedSingle;
+    r.check = flip_bit(r.check, kHammingBits);
+    r.corrected_bit = 64 + kHammingBits;
+    return r;
+  }
+  if (overall_mismatch == 0) {
+    // Nonzero syndrome with an even number of flips: double error.
+    r.status = DecodeStatus::kDetectedDouble;
+    return r;
+  }
+  // Odd number of flips with nonzero syndrome: single error at position
+  // `syndrome` — if that is a real codeword position.
+  if (syndrome > kMaxPos || data_of_pos_[syndrome] == kUnusedPos) {
+    // Invalid position: a multi-bit error that aliased.
+    r.status = DecodeStatus::kDetectedDouble;
+    return r;
+  }
+  r.status = DecodeStatus::kCorrectedSingle;
+  const unsigned at = data_of_pos_[static_cast<unsigned>(syndrome)];
+  if (at == kCheckPos) {
+    const unsigned ci = log2_exact(syndrome);
+    r.check = flip_bit(r.check, ci);
+    r.corrected_bit = 64 + ci;
+  } else {
+    r.data = flip_bit(r.data, at);
+    r.corrected_bit = at;
+  }
+  return r;
+}
+
+}  // namespace aeep::ecc

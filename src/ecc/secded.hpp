@@ -1,0 +1,52 @@
+// SECDED(72,64): extended Hamming code — Single Error Correction, Double
+// Error Detection. 8 check bits per 64-bit data word, exactly the overhead
+// the paper attributes to Itanium/POWER4 L2 ECC (12.5%).
+#pragma once
+
+#include <array>
+
+#include "ecc/codec.hpp"
+
+namespace aeep::ecc {
+
+/// Extended Hamming implementation:
+///  - codeword positions 1..71 hold a Hamming(71,64) code: check bits at the
+///    power-of-two positions {1,2,4,8,16,32,64}, data bits fill the rest;
+///  - an overall parity bit (check bit 7) covers all 71 positions, upgrading
+///    single-error correction to SECDED.
+///
+/// Check-bit word layout returned by encode(): bits 0..6 are the Hamming
+/// check bits c0..c6 (for positions 1,2,4,...,64), bit 7 is overall parity.
+class SecdedCodec final : public WordCodec {
+ public:
+  SecdedCodec();
+
+  std::string name() const override { return "secded(72,64)"; }
+  unsigned check_bits() const override { return 8; }
+  bool corrects_single() const override { return true; }
+  u64 encode(u64 data) const override;
+  DecodeResult decode(u64 data, u64 check) const override;
+
+  /// Number of Hamming check bits (excluding the overall parity bit).
+  static constexpr unsigned kHammingBits = 7;
+  /// Highest occupied codeword position (1-based).
+  static constexpr unsigned kMaxPos = 71;
+
+ private:
+  // pos_of_data_[d] = codeword position (1..71) of data bit d.
+  std::array<unsigned, 64> pos_of_data_{};
+  // data_of_pos_[p] = data bit index at position p, or kCheckPos if p is a
+  // check position, kUnusedPos if p is out of range.
+  static constexpr unsigned kCheckPos = 0xFFu;
+  static constexpr unsigned kUnusedPos = 0xFEu;
+  std::array<unsigned, kMaxPos + 1> data_of_pos_{};
+  // column_mask_[i]: data bits covered by Hamming check bit i.
+  std::array<u64, kHammingBits> column_mask_{};
+
+  /// Expand (data, hamming check bits) into the 72-entry position-indexed
+  /// bit vector (index 0 unused by the Hamming part).
+  u64 hamming_syndrome(u64 data, u64 check) const;
+  unsigned parity_over_codeword(u64 data, u64 check) const;
+};
+
+}  // namespace aeep::ecc

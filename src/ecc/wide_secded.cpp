@@ -1,0 +1,105 @@
+#include "ecc/wide_secded.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace aeep::ecc {
+
+unsigned WideSecdedCodec::check_bits_for(unsigned data_bits) {
+  // Smallest r with 2^r >= data_bits + r + 1, plus the overall parity bit.
+  unsigned r = 1;
+  while ((u64{1} << r) < data_bits + r + 1) ++r;
+  return r + 1;
+}
+
+WideSecdedCodec::WideSecdedCodec(unsigned data_bits)
+    : data_bits_(data_bits), hamming_bits_(check_bits_for(data_bits) - 1) {
+  if (data_bits < 8 || data_bits > 4096)
+    throw std::invalid_argument("WideSecdedCodec: data_bits out of range");
+  max_pos_ = data_bits_ + hamming_bits_;  // positions 1..max_pos_
+  pos_of_data_.resize(data_bits_);
+  data_of_pos_.assign(max_pos_ + 1, -1);
+  unsigned d = 0;
+  for (unsigned p = 1; p <= max_pos_; ++p) {
+    if (is_pow2(p)) continue;  // check position
+    pos_of_data_[d] = p;
+    data_of_pos_[p] = static_cast<int>(d);
+    ++d;
+  }
+  assert(d == data_bits_);
+}
+
+u64 WideSecdedCodec::encode(std::span<const u64> data) const {
+  u64 check = 0;
+  for (unsigned i = 0; i < hamming_bits_; ++i) {
+    unsigned parity = 0;
+    for (unsigned d = 0; d < data_bits_; ++d) {
+      if ((pos_of_data_[d] >> i) & 1u) parity ^= data_bit(data, d);
+    }
+    check |= static_cast<u64>(parity) << i;
+  }
+  unsigned overall = parity64(check);
+  for (unsigned d = 0; d < data_bits_; ++d) overall ^= data_bit(data, d);
+  check |= static_cast<u64>(overall) << hamming_bits_;
+  return check;
+}
+
+u64 WideSecdedCodec::hamming_syndrome(std::span<const u64> data,
+                                      u64 check) const {
+  u64 syndrome = 0;
+  for (unsigned i = 0; i < hamming_bits_; ++i) {
+    unsigned parity = bit_of(check, i);
+    for (unsigned d = 0; d < data_bits_; ++d) {
+      if ((pos_of_data_[d] >> i) & 1u) parity ^= data_bit(data, d);
+    }
+    syndrome |= static_cast<u64>(parity) << i;
+  }
+  return syndrome;
+}
+
+unsigned WideSecdedCodec::overall_parity(std::span<const u64> data,
+                                         u64 check) const {
+  unsigned p = parity64(check & ((u64{1} << (hamming_bits_ + 1)) - 1));
+  for (unsigned d = 0; d < data_bits_; ++d) p ^= data_bit(data, d);
+  return p;
+}
+
+WideDecodeResult WideSecdedCodec::decode(std::span<u64> data,
+                                         u64& check) const {
+  WideDecodeResult r;
+  const u64 syndrome = hamming_syndrome(data, check);
+  const unsigned mismatch = overall_parity(data, check);
+
+  if (syndrome == 0 && mismatch == 0) return r;
+  if (syndrome == 0 && mismatch == 1) {
+    r.status = DecodeStatus::kCorrectedSingle;
+    check = flip_bit(check, hamming_bits_);
+    r.corrected_bit = data_bits_ + hamming_bits_;
+    return r;
+  }
+  if (mismatch == 0) {
+    r.status = DecodeStatus::kDetectedDouble;
+    return r;
+  }
+  if (syndrome > max_pos_ || (!is_pow2(syndrome) &&
+                              data_of_pos_[static_cast<unsigned>(syndrome)] < 0)) {
+    r.status = DecodeStatus::kDetectedDouble;
+    return r;
+  }
+  r.status = DecodeStatus::kCorrectedSingle;
+  if (is_pow2(syndrome)) {
+    const unsigned ci = log2_exact(syndrome);
+    check = flip_bit(check, ci);
+    r.corrected_bit = data_bits_ + ci;
+  } else {
+    const unsigned d =
+        static_cast<unsigned>(data_of_pos_[static_cast<unsigned>(syndrome)]);
+    flip_data_bit(data, d);
+    r.corrected_bit = d;
+  }
+  return r;
+}
+
+}  // namespace aeep::ecc

@@ -1,0 +1,85 @@
+// Soft-error injection and outcome classification.
+//
+// Models the paper's threat (particle-induced bit flips in the L2 arrays) by
+// flipping stored bits — in the data payload, the parity bits, or the ECC
+// bits — of a protected L2, then driving the scheme's read-validation path
+// and comparing the resulting payload against a golden copy. This is the
+// executable form of the paper's protection claims: clean lines survive via
+// parity + re-fetch, dirty lines via SECDED correction, and the experiment
+// quantifies where each scheme loses data (SDC) or has to give up (DUE).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "protect/protected_l2.hpp"
+
+namespace aeep::fault {
+
+/// Where the flipped bit(s) lived.
+enum class FaultTarget { kData = 0, kParity = 1, kEcc = 2 };
+inline constexpr unsigned kNumFaultTargets = 3;
+
+/// Ground-truth classification of one injection.
+enum class FaultClass {
+  kRecovered,       ///< payload matches golden after the check
+  kDetectedUnrecoverable,  ///< scheme raised an uncorrectable error (DUE)
+  kSilentCorruption,       ///< payload differs but no error was raised (SDC)
+  kMiscorrected,           ///< scheme "corrected" into the wrong data
+};
+inline constexpr unsigned kNumFaultClasses = 4;
+
+const char* to_string(FaultTarget t);
+const char* to_string(FaultClass c);
+
+struct InjectionResult {
+  FaultTarget target = FaultTarget::kData;
+  unsigned flips = 1;
+  bool line_was_dirty = false;
+  protect::ReadOutcome outcome = protect::ReadOutcome::kOk;
+  FaultClass cls = FaultClass::kRecovered;
+};
+
+struct CampaignTally {
+  u64 injections = 0;
+  std::array<u64, kNumFaultClasses> by_class{};
+  u64 dirty_line_hits = 0;
+
+  void add(const InjectionResult& r);
+  u64 of(FaultClass c) const { return by_class[static_cast<unsigned>(c)]; }
+  double rate(FaultClass c) const {
+    return injections ? static_cast<double>(of(c)) / static_cast<double>(injections) : 0.0;
+  }
+};
+
+class FaultCampaign {
+ public:
+  FaultCampaign(protect::ProtectedL2& l2, u64 seed);
+
+  /// Flip `flips` distinct stored bits of one randomly chosen valid line
+  /// (uniform over the chosen target's bits), then run the scheme's check.
+  /// Returns nullopt if no line satisfies the constraints (e.g. asking for
+  /// an ECC flip when nothing is dirty).
+  std::optional<InjectionResult> inject(FaultTarget target, unsigned flips);
+
+  /// Weighted random target by live storage bits, like real particle strikes.
+  std::optional<InjectionResult> inject_anywhere(unsigned flips);
+
+  const CampaignTally& tally() const { return tally_; }
+
+ private:
+  struct Site {
+    u64 set;
+    unsigned way;
+  };
+  /// Pick a random valid line; if `need` is set the line must (not) be dirty.
+  std::optional<Site> pick_line(std::optional<bool> need_dirty);
+
+  protect::ProtectedL2* l2_;
+  Xorshift64Star rng_;
+  CampaignTally tally_;
+};
+
+}  // namespace aeep::fault

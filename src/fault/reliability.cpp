@@ -1,0 +1,89 @@
+#include "fault/reliability.hpp"
+
+namespace aeep::fault {
+
+namespace {
+
+/// Rate of >=2-strike accumulations per granule per cycle, for a granule of
+/// `bits` with exposure window `window` cycles: events/window = (l*g*T)^2/2,
+/// so per cycle divide by T once more.
+double double_strike_rate(double lambda, unsigned bits, double window) {
+  if (window <= 0) return 0.0;
+  const double per_window =
+      0.5 * (lambda * bits * window) * (lambda * bits * window);
+  return per_window / window;
+}
+
+/// Rate of single strikes per granule per cycle.
+double single_strike_rate(double lambda, unsigned bits) {
+  return lambda * static_cast<double>(bits);
+}
+
+}  // namespace
+
+ReliabilityEstimate estimate_non_uniform(const ResidencyProfile& pr,
+                                         const ReliabilityParams& p) {
+  ReliabilityEstimate e;
+  e.scheme = "non-uniform (paper)";
+  const double words = pr.words_per_line;
+  const unsigned parity_g = p.word_bits + p.parity_overhead_bits;
+  const unsigned ecc_g = p.word_bits + p.ecc_overhead_bits;
+
+  // Clean lines: same-word double strikes are parity-blind -> SDC.
+  e.sdc_rate = pr.avg_clean_lines * words *
+               double_strike_rate(p.lambda_per_bit_cycle, parity_g,
+                                  pr.clean_residency);
+  // Dirty lines: same-word doubles are detected but unrecoverable -> DUE.
+  e.due_rate = pr.avg_dirty_lines * words *
+               double_strike_rate(p.lambda_per_bit_cycle, ecc_g,
+                                  pr.dirty_residency);
+  // Everything else (all singles, cross-word doubles) recovers.
+  e.recovered_rate =
+      (pr.avg_clean_lines * words * single_strike_rate(p.lambda_per_bit_cycle, parity_g) +
+       pr.avg_dirty_lines * words * single_strike_rate(p.lambda_per_bit_cycle, ecc_g)) -
+      e.sdc_rate - e.due_rate;
+  return e;
+}
+
+ReliabilityEstimate estimate_uniform_ecc(const ResidencyProfile& pr,
+                                         const ReliabilityParams& p) {
+  ReliabilityEstimate e;
+  e.scheme = "uniform ECC (conventional)";
+  const double words = pr.words_per_line;
+  const unsigned ecc_g = p.word_bits + p.ecc_overhead_bits;
+
+  // Clean-line doubles are detected AND recoverable (refetch): no SDC.
+  e.sdc_rate = 0.0;
+  e.due_rate = pr.avg_dirty_lines * words *
+               double_strike_rate(p.lambda_per_bit_cycle, ecc_g,
+                                  pr.dirty_residency);
+  e.recovered_rate =
+      ((pr.avg_clean_lines + pr.avg_dirty_lines) * words *
+       single_strike_rate(p.lambda_per_bit_cycle, ecc_g)) -
+      e.due_rate;
+  return e;
+}
+
+ReliabilityEstimate estimate_parity_only(const ResidencyProfile& pr,
+                                         const ReliabilityParams& p) {
+  ReliabilityEstimate e;
+  e.scheme = "parity only (no ECC)";
+  const double words = pr.words_per_line;
+  const unsigned parity_g = p.word_bits + p.parity_overhead_bits;
+
+  // Clean lines behave as in the paper's scheme.
+  e.sdc_rate = pr.avg_clean_lines * words *
+               double_strike_rate(p.lambda_per_bit_cycle, parity_g,
+                                  pr.clean_residency);
+  // Dirty lines: even a detected single strike is unrecoverable (the only
+  // copy is corrupted) -> DUE at the SINGLE-strike rate. This is why
+  // write-back caches cannot ship with parity alone.
+  e.due_rate = pr.avg_dirty_lines * words *
+               single_strike_rate(p.lambda_per_bit_cycle, parity_g);
+  e.recovered_rate = pr.avg_clean_lines * words *
+                         single_strike_rate(p.lambda_per_bit_cycle, parity_g) -
+                     e.sdc_rate;
+  return e;
+}
+
+}  // namespace aeep::fault

@@ -1,0 +1,76 @@
+// Analytic reliability estimator: converts a raw soft-error rate and the
+// measured dirty/clean residency profile of a protection scheme into
+// expected SDC and DUE FIT contributions.
+//
+// Model (standard double-fault window arithmetic):
+//  - a granule (one SECDED word, 72 bits; or one parity word, 65 bits)
+//    fails only when it accumulates 2 strikes before being re-validated;
+//  - the exposure window of a line is its cache residency: R_clean for
+//    parity-protected lines, R_dirty for ECC-protected lines;
+//  - with per-bit strike rate lambda, the probability a granule of g bits
+//    takes >= 2 hits in window T is ~ (lambda*g*T)^2 / 2 (lambda*T << 1);
+//  - a clean-line double is SDC only when both strikes land in the SAME
+//    word (parity blindness); cross-word doubles are caught and re-fetched;
+//  - a dirty-line double in one word is a DUE (detected, unrecoverable);
+//  - uniform ECC turns the clean-line same-word double into a DUE-then-
+//    refetch (recoverable), eliminating the SDC term at 2.4x the storage.
+//
+// Everything is per-line-per-cycle math scaled by the measured average
+// populations, so schemes are compared on the same run.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "protect/protected_l2.hpp"
+
+namespace aeep::fault {
+
+struct ReliabilityParams {
+  /// Raw strike rate per bit per cycle. Default: 1e-19 corresponds to
+  /// ~1e-4 FIT/bit at 3 GHz — a 90nm-class SRAM figure.
+  double lambda_per_bit_cycle = 1e-19;
+  unsigned word_bits = 64;   ///< protection granule (data bits)
+  unsigned parity_overhead_bits = 1;
+  unsigned ecc_overhead_bits = 8;
+};
+
+struct ReliabilityEstimate {
+  std::string scheme;
+  /// Expected events per cycle across the whole cache population.
+  double sdc_rate = 0;   ///< silent data corruption
+  double due_rate = 0;   ///< detected unrecoverable error
+  double recovered_rate = 0;  ///< strikes absorbed by correction/refetch
+
+  /// Convert a per-cycle rate to FIT (failures per 1e9 device-hours) at a
+  /// given clock.
+  static double to_fit(double per_cycle, double hz) {
+    return per_cycle * hz * 3600.0 * 1e9;
+  }
+};
+
+/// Inputs measured from a run.
+struct ResidencyProfile {
+  double avg_clean_lines = 0;   ///< average parity-only-protected lines
+  double avg_dirty_lines = 0;   ///< average ECC-protected lines
+  double clean_residency = 0;   ///< avg cycles a clean line sits between validations
+  double dirty_residency = 0;   ///< avg cycles a dirty line sits between validations
+  unsigned words_per_line = 8;
+};
+
+/// Estimate for the paper's non-uniform schemes (parity on clean lines,
+/// SECDED on dirty lines).
+ReliabilityEstimate estimate_non_uniform(const ResidencyProfile& profile,
+                                         const ReliabilityParams& params = {});
+
+/// Estimate for the conventional uniform-ECC baseline (SECDED everywhere;
+/// clean-line DUEs recover by refetch).
+ReliabilityEstimate estimate_uniform_ecc(const ResidencyProfile& profile,
+                                         const ReliabilityParams& params = {});
+
+/// Estimate for an unprotected (parity-everywhere) cache, for scale: dirty
+/// lines lose data on ANY strike.
+ReliabilityEstimate estimate_parity_only(const ResidencyProfile& profile,
+                                         const ReliabilityParams& params = {});
+
+}  // namespace aeep::fault

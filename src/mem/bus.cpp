@@ -1,0 +1,48 @@
+#include "mem/bus.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aeep::mem {
+
+SplitTransactionBus::SplitTransactionBus(const BusConfig& config)
+    : config_(config) {
+  assert(config_.width_bytes > 0);
+}
+
+Cycle SplitTransactionBus::occupy(Cycle now, unsigned bytes) {
+  const Cycle beats =
+      (bytes + config_.width_bytes - 1) / config_.width_bytes;
+  const Cycle start = std::max(now, next_free_);
+  stats_.queue_delay_cycles += start - now;
+  stats_.busy_cycles += beats;
+  next_free_ = start + beats;
+  return start;
+}
+
+Cycle SplitTransactionBus::read(Cycle now, Addr /*addr*/, unsigned bytes) {
+  // Request phase occupies the bus for the transfer beats after the DRAM
+  // access completes; with a split-transaction bus the address tenure is
+  // folded into the access latency.
+  const Cycle start = occupy(now, bytes);
+  ++stats_.reads;
+  stats_.bytes_read += bytes;
+  const Cycle beats =
+      (bytes + config_.width_bytes - 1) / config_.width_bytes;
+  return start + config_.memory_latency + beats;
+}
+
+Cycle SplitTransactionBus::write(Cycle now, Addr /*addr*/, unsigned bytes) {
+  const Cycle start = occupy(now, bytes);
+  ++stats_.writes;
+  stats_.bytes_written += bytes;
+  const Cycle beats =
+      (bytes + config_.width_bytes - 1) / config_.width_bytes;
+  return start + beats;
+}
+
+Cycle SplitTransactionBus::next_free(Cycle now) const {
+  return std::max(now, next_free_);
+}
+
+}  // namespace aeep::mem

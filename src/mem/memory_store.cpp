@@ -1,0 +1,36 @@
+#include "mem/memory_store.hpp"
+
+#include <cassert>
+
+namespace aeep::mem {
+
+u64 MemoryStore::pristine_word(Addr addr) {
+  // splitmix64 of the word address: cheap, deterministic, well mixed.
+  u64 z = (addr >> 3) + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+u64 MemoryStore::read_word(Addr addr) const {
+  assert(addr % 8 == 0);
+  const auto it = words_.find(addr);
+  return it == words_.end() ? pristine_word(addr) : it->second;
+}
+
+void MemoryStore::write_word(Addr addr, u64 value) {
+  assert(addr % 8 == 0);
+  words_[addr] = value;
+}
+
+void MemoryStore::read_line(Addr base, std::span<u64> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = read_word(base + i * 8);
+}
+
+void MemoryStore::write_line(Addr base, std::span<const u64> in) {
+  for (std::size_t i = 0; i < in.size(); ++i)
+    write_word(base + i * 8, in[i]);
+}
+
+}  // namespace aeep::mem

@@ -1,0 +1,41 @@
+// Functional backing store for main memory.
+//
+// Timing lives in SplitTransactionBus; this class only holds contents. The
+// store is sparse: untouched words read as a deterministic hash of their
+// address ("pristine" content), so a clean cache line can always be
+// re-fetched and compared bit-for-bit — the property the paper's parity
+// protection of clean lines relies on.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace aeep::mem {
+
+class MemoryStore {
+ public:
+  /// Deterministic pristine content of an aligned 8-byte word.
+  static u64 pristine_word(Addr addr);
+
+  /// Read an aligned 8-byte word.
+  u64 read_word(Addr addr) const;
+
+  /// Write an aligned 8-byte word.
+  void write_word(Addr addr, u64 value);
+
+  /// Read `out.size()` consecutive words starting at an aligned base.
+  void read_line(Addr base, std::span<u64> out) const;
+
+  /// Write consecutive words starting at an aligned base.
+  void write_line(Addr base, std::span<const u64> in);
+
+  /// Number of words ever written (sparse map size).
+  std::size_t dirty_words() const { return words_.size(); }
+
+ private:
+  std::unordered_map<Addr, u64> words_;
+};
+
+}  // namespace aeep::mem

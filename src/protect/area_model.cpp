@@ -1,0 +1,66 @@
+#include "protect/area_model.hpp"
+
+#include <cmath>
+
+namespace aeep::protect {
+
+u64 AreaReport::total_bits() const {
+  u64 t = 0;
+  for (const auto& c : components) t += c.bits;
+  return t;
+}
+
+double AreaReport::reduction_vs(const AreaReport& baseline) const {
+  const u64 base = baseline.total_bits();
+  if (base == 0) return 0.0;
+  return 1.0 - static_cast<double>(total_bits()) / static_cast<double>(base);
+}
+
+u64 ecc_bits_per_line(const cache::CacheGeometry& geom) {
+  // 8 check bits per 64 data bits (SECDED(72,64)).
+  return static_cast<u64>(geom.line_bytes) * 8 / 64 * 8;
+}
+
+u64 parity_bits_per_line(const cache::CacheGeometry& geom) {
+  // 1 parity bit per 64 data bits.
+  return static_cast<u64>(geom.line_bytes) * 8 / 64;
+}
+
+AreaReport conventional_area(const cache::CacheGeometry& geom) {
+  AreaReport r;
+  r.scheme = "conventional-uniform-ecc";
+  const u64 lines = geom.total_lines();
+  r.components.push_back({"data ECC (8b / 64b)", lines * ecc_bits_per_line(geom)});
+  r.components.push_back({"tag parity (1b / line)", lines});
+  r.components.push_back({"status parity (1b / line)", lines});
+  return r;
+}
+
+AreaReport proposed_area(const cache::CacheGeometry& geom,
+                         unsigned ecc_entries_per_set) {
+  AreaReport r;
+  r.scheme = "proposed-shared-ecc-array";
+  const u64 lines = geom.total_lines();
+  r.components.push_back({"data parity (1b / 64b)", lines * parity_bits_per_line(geom)});
+  r.components.push_back({"ECC array", geom.num_sets() * ecc_entries_per_set * ecc_bits_per_line(geom)});
+  r.components.push_back({"written bits (1b / line)", lines});
+  r.components.push_back({"tag parity (1b / line)", lines});
+  r.components.push_back({"status parity (1b / line)", lines});
+  return r;
+}
+
+AreaReport non_uniform_area(const cache::CacheGeometry& geom,
+                            double dirty_fraction) {
+  AreaReport r;
+  r.scheme = "non-uniform-provisioned";
+  const u64 lines = geom.total_lines();
+  const u64 dirty_lines =
+      static_cast<u64>(std::ceil(dirty_fraction * static_cast<double>(lines)));
+  r.components.push_back({"data parity (1b / 64b)", lines * parity_bits_per_line(geom)});
+  r.components.push_back({"ECC for dirty lines", dirty_lines * ecc_bits_per_line(geom)});
+  r.components.push_back({"tag parity (1b / line)", lines});
+  r.components.push_back({"status parity (1b / line)", lines});
+  return r;
+}
+
+}  // namespace aeep::protect

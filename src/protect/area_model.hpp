@@ -1,0 +1,52 @@
+// Protection-storage area model (§3.1, §3.3, §5.2 of the paper).
+//
+// All quantities are in bits of storage added for error protection, broken
+// down by component so the bench can print the paper's 132 KB vs 54 KB
+// comparison for the 1 MB / 4-way / 64 B L2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "common/types.hpp"
+
+namespace aeep::protect {
+
+struct AreaComponent {
+  std::string name;
+  u64 bits = 0;
+};
+
+struct AreaReport {
+  std::string scheme;
+  std::vector<AreaComponent> components;
+
+  u64 total_bits() const;
+  double total_kib() const { return static_cast<double>(total_bits()) / 8.0 / 1024.0; }
+  /// Fractional reduction of this report relative to `baseline` (0.59 for
+  /// the paper's configuration).
+  double reduction_vs(const AreaReport& baseline) const;
+};
+
+/// Conventional uniform protection: SECDED over every data word plus 1-bit
+/// parity for each line's tag and status bits. 132 KB for the paper's L2.
+AreaReport conventional_area(const cache::CacheGeometry& geom);
+
+/// The paper's proposal: parity over all data, written bit per line, tag and
+/// status parity, and a shared ECC array with `ecc_entries_per_set` entries
+/// (paper: 1). 54 KB for the paper's L2.
+AreaReport proposed_area(const cache::CacheGeometry& geom,
+                         unsigned ecc_entries_per_set = 1);
+
+/// §3.1's intermediate scheme: parity everywhere + ECC provisioned for a
+/// `dirty_fraction` of lines (the motivating 16 KB + ~64 KB estimate).
+AreaReport non_uniform_area(const cache::CacheGeometry& geom,
+                            double dirty_fraction);
+
+/// Bits of ECC required per line: 8 per 64 data bits.
+u64 ecc_bits_per_line(const cache::CacheGeometry& geom);
+/// Bits of parity required per line: 1 per 64 data bits.
+u64 parity_bits_per_line(const cache::CacheGeometry& geom);
+
+}  // namespace aeep::protect

@@ -1,0 +1,64 @@
+// Protection energy model (the Li et al. [11] angle the paper cites:
+// "parity codes are more energy-efficient than ECC").
+//
+// Event-based accounting: every L2 access pays for the check-bit storage it
+// touches and the codec logic it runs; write-backs and refetches pay bus
+// energy. Default per-event energies are representative 90nm-class values
+// (documented per field); they are inputs, not claims — the bench sweeps
+// them. What the model exposes is the *structure* of the saving: under
+// non-uniform protection a clean-line read runs a 1-bit parity check
+// instead of a SECDED decode, and the smaller ECC array is cheaper to
+// access than a per-way ECC array.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "protect/protected_l2.hpp"
+
+namespace aeep::protect {
+
+struct EnergyParams {
+  // Codec logic, per 64-bit word.
+  double parity_check_pj = 0.8;   ///< XOR tree over 65 bits
+  double secded_decode_pj = 4.5;  ///< syndrome + correct over 72 bits
+  double secded_encode_pj = 4.0;
+
+  // Check-bit storage access, per line, scaled by array size.
+  double ecc_array_read_pj_per_kb = 0.09;   ///< ~11.5 pJ for a 128KB array
+  double ecc_array_write_pj_per_kb = 0.11;
+  double parity_array_read_pj_per_kb = 0.09;
+  double parity_array_write_pj_per_kb = 0.11;
+
+  // Off-chip traffic, per 64-byte line moved.
+  double bus_line_pj = 1800.0;
+  double dram_access_pj = 9000.0;
+};
+
+struct EnergyBreakdown {
+  std::string scheme;
+  double codec_pj = 0;        ///< parity/SECDED logic
+  double check_storage_pj = 0;///< ECC / parity array accesses
+  double extra_traffic_pj = 0;///< write-backs beyond the baseline's
+  double total_pj() const { return codec_pj + check_storage_pj + extra_traffic_pj; }
+};
+
+/// Event counts extracted from a run (see sim::RunResult -> to_energy_events).
+struct EnergyEvents {
+  u64 l2_reads = 0;        ///< demand reads (hits+misses)
+  u64 l2_writes = 0;       ///< write-buffer drains
+  u64 l2_fills = 0;        ///< lines installed
+  u64 clean_read_fraction_permille = 500;  ///< share of reads hitting clean lines
+  u64 writebacks = 0;      ///< all write-backs of this configuration
+  u64 baseline_writebacks = 0;  ///< write-backs of the org configuration
+  unsigned words_per_line = 8;
+};
+
+/// Estimate protection energy for a scheme processing `events`.
+EnergyBreakdown estimate_energy(SchemeKind scheme, const EnergyEvents& events,
+                                const cache::CacheGeometry& geom,
+                                unsigned ecc_entries_per_set,
+                                const EnergyParams& params = {});
+
+}  // namespace aeep::protect

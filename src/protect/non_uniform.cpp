@@ -1,0 +1,124 @@
+#include "protect/non_uniform.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aeep::protect {
+
+NonUniformScheme::NonUniformScheme(cache::Cache& cache)
+    : ProtectionScheme(cache),
+      words_(cache.geometry().words_per_line()),
+      parity_(cache.geometry().total_lines() * words_, 0),
+      ecc_(cache.geometry().total_lines() * words_, 0),
+      ecc_valid_(cache.geometry().total_lines(), 0) {}
+
+void NonUniformScheme::encode_parity(u64 set, unsigned way, u64 word_mask) {
+  const auto data = cache().data(set, way);
+  u64* par = parity_.data() + line_slot(set, way) * words_;
+  for (unsigned w = 0; w < words_; ++w) {
+    if (word_mask & (u64{1} << w)) par[w] = parity_codec().encode(data[w]);
+  }
+}
+
+void NonUniformScheme::encode_ecc(u64 set, unsigned way, u64 word_mask) {
+  const auto data = cache().data(set, way);
+  u64* check = ecc_.data() + line_slot(set, way) * words_;
+  for (unsigned w = 0; w < words_; ++w) {
+    if (word_mask & (u64{1} << w)) check[w] = secded().encode(data[w]);
+  }
+}
+
+void NonUniformScheme::on_fill(u64 set, unsigned way) {
+  encode_parity(set, way, ~u64{0});
+  ecc_valid_[line_slot(set, way)] = 0;
+}
+
+void NonUniformScheme::on_write_applied(u64 set, unsigned way, u64 word_mask) {
+  encode_parity(set, way, word_mask);
+  assert(cache().meta(set, way).dirty);
+  u8& valid = ecc_valid_[line_slot(set, way)];
+  if (!valid) {
+    // First write since the line was (re)cleaned: the whole line needs
+    // fresh ECC, not just the written words.
+    encode_ecc(set, way, ~u64{0});
+    valid = 1;
+  } else {
+    encode_ecc(set, way, word_mask);
+  }
+  peak_dirty_ = std::max(peak_dirty_, cache().dirty_count());
+}
+
+void NonUniformScheme::on_writeback(u64 set, unsigned way) {
+  ecc_valid_[line_slot(set, way)] = 0;
+}
+
+void NonUniformScheme::on_evict(u64 set, unsigned way) {
+  ecc_valid_[line_slot(set, way)] = 0;
+}
+
+ReadCheck NonUniformScheme::check_read(u64 set, unsigned way,
+                                       const mem::MemoryStore& memory) {
+  ReadCheck out;
+  auto data = cache().data(set, way);
+  const bool dirty = cache().meta(set, way).dirty;
+
+  if (dirty) {
+    // §3.3: "Otherwise, ECC is used for error detection and correction."
+    assert(ecc_valid_[line_slot(set, way)]);
+    u64* check = ecc_.data() + line_slot(set, way) * words_;
+    for (unsigned w = 0; w < words_; ++w) {
+      const ecc::DecodeResult r = secded().decode(data[w], check[w]);
+      switch (r.status) {
+        case ecc::DecodeStatus::kOk:
+          break;
+        case ecc::DecodeStatus::kCorrectedSingle:
+          data[w] = r.data;
+          check[w] = r.check;
+          // Keep the parity bit consistent with the repaired word.
+          encode_parity(set, way, u64{1} << w);
+          ++out.words_corrected;
+          break;
+        case ecc::DecodeStatus::kDetectedError:
+        case ecc::DecodeStatus::kDetectedDouble:
+          ++out.words_detected;
+          break;
+      }
+    }
+    if (out.words_detected > 0)
+      out.outcome = ReadOutcome::kUncorrectable;
+    else if (out.words_corrected > 0)
+      out.outcome = ReadOutcome::kCorrected;
+    return out;
+  }
+
+  // Clean line: parity only; any detected error is repaired by re-fetch.
+  const u64* par = parity_.data() + line_slot(set, way) * words_;
+  for (unsigned w = 0; w < words_; ++w) {
+    if (parity_codec().decode(data[w], par[w]).status != ecc::DecodeStatus::kOk)
+      ++out.words_detected;
+  }
+  if (out.words_detected > 0) {
+    memory.read_line(cache().line_addr(set, way), data);
+    encode_parity(set, way, ~u64{0});
+    out.outcome = ReadOutcome::kRefetched;
+  }
+  return out;
+}
+
+std::span<u64> NonUniformScheme::parity_words(u64 set, unsigned way) {
+  return {parity_.data() + line_slot(set, way) * words_, words_};
+}
+
+std::span<u64> NonUniformScheme::ecc_words(u64 set, unsigned way) {
+  if (!ecc_valid_[line_slot(set, way)]) return {};
+  return {ecc_.data() + line_slot(set, way) * words_, words_};
+}
+
+AreaReport NonUniformScheme::area() const {
+  const double frac =
+      static_cast<double>(peak_dirty_) /
+      static_cast<double>(cache().geometry().total_lines());
+  return non_uniform_area(cache().geometry(), frac);
+}
+
+}  // namespace aeep::protect

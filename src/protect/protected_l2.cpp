@@ -1,0 +1,246 @@
+#include "protect/protected_l2.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "protect/non_uniform.hpp"
+#include "protect/shared_ecc_array.hpp"
+#include "protect/uniform_ecc.hpp"
+
+namespace aeep::protect {
+
+const char* to_string(CleaningPolicy p) {
+  switch (p) {
+    case CleaningPolicy::kWrittenBit: return "written-bit";
+    case CleaningPolicy::kNaive: return "naive";
+    case CleaningPolicy::kDecayCounter: return "decay-counter";
+    case CleaningPolicy::kEagerIdle: return "eager-idle";
+  }
+  return "?";
+}
+
+const char* to_string(WbCause c) {
+  switch (c) {
+    case WbCause::kReplacement: return "WB";
+    case WbCause::kCleaning: return "Clean-WB";
+    case WbCause::kEccEviction: return "ECC-WB";
+  }
+  return "?";
+}
+
+const char* to_string(SchemeKind k) {
+  switch (k) {
+    case SchemeKind::kUniformEcc: return "uniform-ecc";
+    case SchemeKind::kNonUniform: return "non-uniform";
+    case SchemeKind::kSharedEccArray: return "shared-ecc-array";
+  }
+  return "?";
+}
+
+namespace {
+std::unique_ptr<ProtectionScheme> make_scheme(const L2Config& cfg,
+                                              cache::Cache& cache) {
+  switch (cfg.scheme) {
+    case SchemeKind::kUniformEcc:
+      return std::make_unique<UniformEccScheme>(cache);
+    case SchemeKind::kNonUniform:
+      return std::make_unique<NonUniformScheme>(cache);
+    case SchemeKind::kSharedEccArray:
+      return std::make_unique<SharedEccArrayScheme>(cache,
+                                                    cfg.ecc_entries_per_set);
+  }
+  return nullptr;
+}
+}  // namespace
+
+ProtectedL2::ProtectedL2(const L2Config& config, mem::SplitTransactionBus& bus,
+                         mem::MemoryStore& memory)
+    : config_(config),
+      cache_(config.geometry, config.replacement, config.seed),
+      scheme_(make_scheme(config, cache_)),
+      cleaner_(config.geometry.num_sets(), config.cleaning_interval),
+      bus_(&bus),
+      memory_(&memory),
+      fill_buf_(config.geometry.words_per_line(), 0) {
+  if (config_.cleaning_policy == CleaningPolicy::kDecayCounter)
+    decay_.assign(config_.geometry.total_lines(), 0);
+}
+
+void ProtectedL2::note_dirty(Cycle now) {
+  // Timestamps arrive in CPU-cycle order; equal times are fine.
+  if (now < last_note_) now = last_note_;
+  last_note_ = now;
+  dirty_level_.update(now, static_cast<double>(cache_.dirty_count()));
+  peak_dirty_ = std::max(peak_dirty_, cache_.dirty_count());
+}
+
+void ProtectedL2::do_writeback(Cycle now, u64 set, unsigned way,
+                               WbCause cause) {
+  assert(cache_.meta(set, way).dirty);
+  const Addr addr = cache_.line_addr(set, way);
+  bus_->write(now, addr, config_.geometry.line_bytes);
+  memory_->write_line(addr, cache_.data(set, way));
+  cache_.clear_dirty(set, way);
+  cache_.set_written(set, way, false);
+  scheme_->on_writeback(set, way);
+  ++wb_[static_cast<unsigned>(cause)];
+  note_dirty(now);
+}
+
+ProtectedL2::Located ProtectedL2::locate_or_fill(Cycle now, Addr addr,
+                                                 bool is_write) {
+  const Cycle start = std::max(now, port_free_);
+  port_free_ = start + 1;  // pipelined: one new access per cycle
+
+  const Addr line = config_.geometry.line_base(addr);
+  const cache::ProbeResult pr = cache_.probe(line);
+  auto& st = cache_.stats();
+  if (is_write)
+    ++st.writes;
+  else
+    ++st.reads;
+
+  if (pr.hit) {
+    if (is_write)
+      ++st.write_hits;
+    else
+      ++st.read_hits;
+    cache_.touch(pr.set, pr.way, now);
+    return {pr.set, pr.way, start + config_.hit_latency, true};
+  }
+
+  // Miss: evict, then fill from memory.
+  const cache::Victim victim = cache_.pick_victim(pr.set);
+  if (victim.valid) {
+    if (victim.dirty)
+      do_writeback(now, pr.set, victim.way, WbCause::kReplacement);
+    scheme_->on_evict(pr.set, victim.way);
+  }
+  const Cycle fill_done =
+      bus_->read(start + config_.hit_latency, line, config_.geometry.line_bytes);
+  memory_->read_line(line, fill_buf_);
+  cache_.install(pr.set, victim.way, line, now, fill_buf_);
+  if (config_.maintain_codes) scheme_->on_fill(pr.set, victim.way);
+  note_dirty(now);
+  return {pr.set, victim.way, fill_done, false};
+}
+
+Cycle ProtectedL2::read(Cycle now, Addr addr) {
+  return locate_or_fill(now, addr, /*is_write=*/false).ready;
+}
+
+Cycle ProtectedL2::write(Cycle now, Addr addr, u64 word_mask,
+                         std::span<const u64> words) {
+  assert(config_.geometry.line_base(addr) == addr);
+  const Located loc = locate_or_fill(now, addr, /*is_write=*/true);
+
+  // §3.3 write path: make sure the line may become (or stay) dirty. The
+  // shared-ECC-array scheme may first demand an ECC-entry eviction.
+  while (auto fw = scheme_->before_dirty(loc.set, loc.way)) {
+    do_writeback(now, fw->set, fw->way, WbCause::kEccEviction);
+  }
+
+  const bool was_dirty = cache_.meta(loc.set, loc.way).dirty;
+  if (was_dirty) {
+    // §3.2: the written bit is set when a line is modified more than once.
+    cache_.set_written(loc.set, loc.way, true);
+  } else {
+    cache_.mark_dirty(loc.set, loc.way);
+  }
+  if (!decay_.empty())
+    decay_[loc.set * config_.geometry.ways + loc.way] = 0;  // write resets age
+
+  auto dst = cache_.data(loc.set, loc.way);
+  for (unsigned w = 0; w < dst.size(); ++w) {
+    if (word_mask & (u64{1} << w)) dst[w] = words[w];
+  }
+  if (config_.maintain_codes)
+    scheme_->on_write_applied(loc.set, loc.way, word_mask);
+  note_dirty(now);
+  return loc.ready;
+}
+
+void ProtectedL2::inspect_set(Cycle now, u64 set) {
+  switch (config_.cleaning_policy) {
+    case CleaningPolicy::kWrittenBit:
+      for (unsigned way = 0; way < config_.geometry.ways; ++way) {
+        const cache::CacheLineMeta& m = cache_.meta(set, way);
+        if (!m.valid) continue;
+        if (m.dirty && !m.written) {
+          // Dead for writes: eagerly clean it (§3.2).
+          do_writeback(now, set, way, WbCause::kCleaning);
+        } else if (m.written) {
+          // Give it another interval to prove it stopped being written.
+          cache_.set_written(set, way, false);
+        }
+      }
+      break;
+
+    case CleaningPolicy::kNaive:
+      for (unsigned way = 0; way < config_.geometry.ways; ++way) {
+        const cache::CacheLineMeta& m = cache_.meta(set, way);
+        if (m.valid && m.dirty) do_writeback(now, set, way, WbCause::kCleaning);
+      }
+      break;
+
+    case CleaningPolicy::kDecayCounter:
+      for (unsigned way = 0; way < config_.geometry.ways; ++way) {
+        const cache::CacheLineMeta& m = cache_.meta(set, way);
+        if (!m.valid || !m.dirty) continue;
+        u8& age = decay_[set * config_.geometry.ways + way];
+        if (++age >= config_.decay_threshold) {
+          do_writeback(now, set, way, WbCause::kCleaning);
+          age = 0;
+        }
+      }
+      break;
+
+    case CleaningPolicy::kEagerIdle: {
+      if (bus_->next_free(now) != now) break;  // bus busy: stay out of the way
+      // Clean the LRU dirty line of the set (Lee et al. write back lines
+      // reaching the LRU position).
+      int victim = -1;
+      Cycle oldest = ~Cycle{0};
+      for (unsigned way = 0; way < config_.geometry.ways; ++way) {
+        const cache::CacheLineMeta& m = cache_.meta(set, way);
+        if (m.valid && m.dirty && m.stamp < oldest) {
+          oldest = m.stamp;
+          victim = static_cast<int>(way);
+        }
+      }
+      if (victim >= 0)
+        do_writeback(now, set, static_cast<unsigned>(victim),
+                     WbCause::kCleaning);
+      break;
+    }
+  }
+}
+
+void ProtectedL2::tick(Cycle now) {
+  while (auto set = cleaner_.due(now)) {
+    ++cleaning_inspections_;
+    inspect_set(now, *set);
+  }
+}
+
+void ProtectedL2::finalize(Cycle now) { note_dirty(now); }
+
+void ProtectedL2::reset_metrics(Cycle now) {
+  cache_.stats() = {};
+  wb_[0] = wb_[1] = wb_[2] = 0;
+  last_note_ = std::max(now, last_note_);
+  dirty_level_.reset(last_note_, static_cast<double>(cache_.dirty_count()));
+  peak_dirty_ = cache_.dirty_count();
+  cleaning_inspections_ = 0;
+}
+
+u64 ProtectedL2::wb_total() const {
+  return wb_[0] + wb_[1] + wb_[2];
+}
+
+double ProtectedL2::avg_dirty_fraction() const {
+  return dirty_level_.average() /
+         static_cast<double>(config_.geometry.total_lines());
+}
+
+}  // namespace aeep::protect

@@ -1,0 +1,47 @@
+// Background memory scrubber — the classic complement to the paper's
+// scheme. Latent single-bit errors in rarely-read lines accumulate until a
+// second strike turns them into DUEs (dirty lines) or SDCs (clean lines,
+// same word). A scrubber walks the cache like the cleaning FSM does,
+// running the protection scheme's read-validation path on every valid line
+// so singles are corrected (or clean lines refetched) before they can pair.
+//
+// Shares the cleaning FSM's hardware shape: one set inspected every
+// `interval / num_sets` cycles.
+#pragma once
+
+#include "protect/cleaning_logic.hpp"
+#include "protect/protected_l2.hpp"
+
+namespace aeep::protect {
+
+struct ScrubberStats {
+  u64 lines_scrubbed = 0;
+  u64 words_corrected = 0;   ///< latent singles repaired by SECDED
+  u64 lines_refetched = 0;   ///< clean lines repaired from memory
+  u64 uncorrectable = 0;     ///< latent damage already beyond repair
+};
+
+class Scrubber {
+ public:
+  /// `interval` is the per-line revisit period in cycles; 0 disables.
+  /// Requires the L2 to maintain real check bits.
+  Scrubber(ProtectedL2& l2, Cycle interval);
+
+  /// Call once per cycle (cheap when nothing is due).
+  void tick(Cycle now);
+
+  /// Scrub every valid line immediately (end-of-campaign accounting).
+  void scrub_all(Cycle now);
+
+  const ScrubberStats& stats() const { return stats_; }
+  Cycle interval() const { return fsm_.interval(); }
+
+ private:
+  void scrub_set(Cycle now, u64 set);
+
+  ProtectedL2* l2_;
+  CleaningLogic fsm_;  ///< reuse the set-walking schedule
+  ScrubberStats stats_;
+};
+
+}  // namespace aeep::protect

@@ -1,0 +1,176 @@
+#include "protect/shared_ecc_array.hpp"
+
+#include <cassert>
+
+namespace aeep::protect {
+
+SharedEccArrayScheme::SharedEccArrayScheme(cache::Cache& cache,
+                                           unsigned entries_per_set)
+    : ProtectionScheme(cache),
+      words_(cache.geometry().words_per_line()),
+      entries_per_set_(entries_per_set),
+      parity_(cache.geometry().total_lines() * words_, 0),
+      entries_(cache.geometry().num_sets() * entries_per_set),
+      entry_check_(cache.geometry().num_sets() * entries_per_set * words_, 0) {
+  assert(entries_per_set >= 1 && entries_per_set <= cache.geometry().ways);
+}
+
+std::string SharedEccArrayScheme::name() const {
+  return "shared-ecc-array(k=" + std::to_string(entries_per_set_) + ")";
+}
+
+void SharedEccArrayScheme::encode_parity(u64 set, unsigned way, u64 word_mask) {
+  const auto data = cache().data(set, way);
+  u64* par = parity_.data() + line_slot(set, way) * words_;
+  for (unsigned w = 0; w < words_; ++w) {
+    if (word_mask & (u64{1} << w)) par[w] = parity_codec().encode(data[w]);
+  }
+}
+
+SharedEccArrayScheme::EccEntry* SharedEccArrayScheme::find_entry(u64 set,
+                                                                 unsigned way) {
+  EccEntry* base = entries_.data() + set * entries_per_set_;
+  for (unsigned e = 0; e < entries_per_set_; ++e) {
+    if (base[e].valid && base[e].way == way) return &base[e];
+  }
+  return nullptr;
+}
+
+u64* SharedEccArrayScheme::entry_check(u64 set, unsigned entry_idx) {
+  return entry_check_.data() + (set * entries_per_set_ + entry_idx) * words_;
+}
+
+void SharedEccArrayScheme::on_fill(u64 set, unsigned way) {
+  encode_parity(set, way, ~u64{0});
+  // A fill replaces whatever line was there; its entry must already have
+  // been released via on_evict. Nothing else to do.
+  assert(find_entry(set, way) == nullptr);
+}
+
+std::optional<ForcedWriteback> SharedEccArrayScheme::before_dirty(
+    u64 set, unsigned way) {
+  if (find_entry(set, way) != nullptr) return std::nullopt;  // already owned
+
+  EccEntry* base = entries_.data() + set * entries_per_set_;
+  // Free entry available?
+  for (unsigned e = 0; e < entries_per_set_; ++e) {
+    if (!base[e].valid) {
+      base[e].valid = true;
+      base[e].way = way;
+      base[e].alloc_seq = ++alloc_seq_;
+      return std::nullopt;
+    }
+  }
+  // Set full: evict the oldest-allocated entry. Its line is dirty by the
+  // scheme invariant and must be written back before losing ECC coverage.
+  unsigned victim = 0;
+  for (unsigned e = 1; e < entries_per_set_; ++e) {
+    if (base[e].alloc_seq < base[victim].alloc_seq) victim = e;
+  }
+  const unsigned victim_way = base[victim].way;
+  assert(victim_way != way);
+  assert(cache().meta(set, victim_way).dirty);
+  ++entry_evictions_;
+  return ForcedWriteback{set, victim_way, cache().line_addr(set, victim_way)};
+}
+
+void SharedEccArrayScheme::on_write_applied(u64 set, unsigned way,
+                                            u64 word_mask) {
+  encode_parity(set, way, word_mask);
+  assert(cache().meta(set, way).dirty);
+  EccEntry* e = find_entry(set, way);
+  assert(e != nullptr && "before_dirty must have allocated an entry");
+  const unsigned idx = static_cast<unsigned>(e - (entries_.data() + set * entries_per_set_));
+  u64* check = entry_check(set, idx);
+  const auto data = cache().data(set, way);
+  // The entry may have been freshly (re)allocated, in which case its check
+  // words are stale for the unwritten words too — recompute the whole line.
+  // Detect this by alloc_seq: a fresh allocation has never been encoded.
+  // Simpler and always safe: recompute all words whenever the mask does not
+  // cover them all. (8 words; cost is negligible.)
+  (void)word_mask;
+  for (unsigned w = 0; w < words_; ++w) check[w] = secded().encode(data[w]);
+}
+
+void SharedEccArrayScheme::on_writeback(u64 set, unsigned way) {
+  if (EccEntry* e = find_entry(set, way)) e->valid = false;
+}
+
+void SharedEccArrayScheme::on_evict(u64 set, unsigned way) {
+  if (EccEntry* e = find_entry(set, way)) e->valid = false;
+}
+
+ReadCheck SharedEccArrayScheme::check_read(u64 set, unsigned way,
+                                           const mem::MemoryStore& memory) {
+  ReadCheck out;
+  auto data = cache().data(set, way);
+  const bool dirty = cache().meta(set, way).dirty;
+
+  if (dirty) {
+    EccEntry* e = find_entry(set, way);
+    assert(e != nullptr && "dirty line must own an ECC entry");
+    const unsigned idx =
+        static_cast<unsigned>(e - (entries_.data() + set * entries_per_set_));
+    u64* check = entry_check(set, idx);
+    for (unsigned w = 0; w < words_; ++w) {
+      const ecc::DecodeResult r = secded().decode(data[w], check[w]);
+      switch (r.status) {
+        case ecc::DecodeStatus::kOk:
+          break;
+        case ecc::DecodeStatus::kCorrectedSingle:
+          data[w] = r.data;
+          check[w] = r.check;
+          encode_parity(set, way, u64{1} << w);
+          ++out.words_corrected;
+          break;
+        case ecc::DecodeStatus::kDetectedError:
+        case ecc::DecodeStatus::kDetectedDouble:
+          ++out.words_detected;
+          break;
+      }
+    }
+    if (out.words_detected > 0)
+      out.outcome = ReadOutcome::kUncorrectable;
+    else if (out.words_corrected > 0)
+      out.outcome = ReadOutcome::kCorrected;
+    return out;
+  }
+
+  const u64* par = parity_.data() + line_slot(set, way) * words_;
+  for (unsigned w = 0; w < words_; ++w) {
+    if (parity_codec().decode(data[w], par[w]).status != ecc::DecodeStatus::kOk)
+      ++out.words_detected;
+  }
+  if (out.words_detected > 0) {
+    memory.read_line(cache().line_addr(set, way), data);
+    encode_parity(set, way, ~u64{0});
+    out.outcome = ReadOutcome::kRefetched;
+  }
+  return out;
+}
+
+std::span<u64> SharedEccArrayScheme::parity_words(u64 set, unsigned way) {
+  return {parity_.data() + line_slot(set, way) * words_, words_};
+}
+
+std::span<u64> SharedEccArrayScheme::ecc_words(u64 set, unsigned way) {
+  EccEntry* e = find_entry(set, way);
+  if (e == nullptr) return {};
+  const unsigned idx =
+      static_cast<unsigned>(e - (entries_.data() + set * entries_per_set_));
+  return {entry_check(set, idx), words_};
+}
+
+AreaReport SharedEccArrayScheme::area() const {
+  return proposed_area(cache().geometry(), entries_per_set_);
+}
+
+int SharedEccArrayScheme::entry_of(u64 set, unsigned way) const {
+  const EccEntry* base = entries_.data() + set * entries_per_set_;
+  for (unsigned e = 0; e < entries_per_set_; ++e) {
+    if (base[e].valid && base[e].way == way) return static_cast<int>(e);
+  }
+  return -1;
+}
+
+}  // namespace aeep::protect

@@ -1,0 +1,81 @@
+#include "protect/uniform_ecc.hpp"
+
+namespace aeep::protect {
+
+const char* to_string(ReadOutcome o) {
+  switch (o) {
+    case ReadOutcome::kOk: return "ok";
+    case ReadOutcome::kCorrected: return "corrected";
+    case ReadOutcome::kRefetched: return "refetched";
+    case ReadOutcome::kUncorrectable: return "uncorrectable";
+  }
+  return "?";
+}
+
+UniformEccScheme::UniformEccScheme(cache::Cache& cache)
+    : ProtectionScheme(cache),
+      words_(cache.geometry().words_per_line()),
+      ecc_(cache.geometry().total_lines() * words_, 0) {}
+
+void UniformEccScheme::encode_words(u64 set, unsigned way, u64 word_mask) {
+  const auto data = cache().data(set, way);
+  u64* check = ecc_.data() + line_slot(set, way) * words_;
+  for (unsigned w = 0; w < words_; ++w) {
+    if (word_mask & (u64{1} << w)) check[w] = secded().encode(data[w]);
+  }
+}
+
+void UniformEccScheme::on_fill(u64 set, unsigned way) {
+  encode_words(set, way, ~u64{0});
+}
+
+void UniformEccScheme::on_write_applied(u64 set, unsigned way, u64 word_mask) {
+  encode_words(set, way, word_mask);
+}
+
+ReadCheck UniformEccScheme::check_read(u64 set, unsigned way,
+                                       const mem::MemoryStore& memory) {
+  ReadCheck out;
+  auto data = cache().data(set, way);
+  u64* check = ecc_.data() + line_slot(set, way) * words_;
+  for (unsigned w = 0; w < words_; ++w) {
+    const ecc::DecodeResult r = secded().decode(data[w], check[w]);
+    switch (r.status) {
+      case ecc::DecodeStatus::kOk:
+        break;
+      case ecc::DecodeStatus::kCorrectedSingle:
+        data[w] = r.data;
+        check[w] = r.check;
+        ++out.words_corrected;
+        break;
+      case ecc::DecodeStatus::kDetectedError:
+      case ecc::DecodeStatus::kDetectedDouble:
+        ++out.words_detected;
+        break;
+    }
+  }
+  if (out.words_detected > 0) {
+    // A clean line with an uncorrectable (but detected) error can still be
+    // recovered by re-fetching from memory — the dirty case is the true DUE.
+    if (!cache().meta(set, way).dirty) {
+      memory.read_line(cache().line_addr(set, way), data);
+      encode_words(set, way, ~u64{0});
+      out.outcome = ReadOutcome::kRefetched;
+    } else {
+      out.outcome = ReadOutcome::kUncorrectable;
+    }
+  } else if (out.words_corrected > 0) {
+    out.outcome = ReadOutcome::kCorrected;
+  }
+  return out;
+}
+
+std::span<u64> UniformEccScheme::ecc_words(u64 set, unsigned way) {
+  return {ecc_.data() + line_slot(set, way) * words_, words_};
+}
+
+AreaReport UniformEccScheme::area() const {
+  return conventional_area(cache().geometry());
+}
+
+}  // namespace aeep::protect

@@ -1,0 +1,75 @@
+#include "sim/experiment.hpp"
+
+#include <sstream>
+
+#include "workload/profile.hpp"
+
+namespace aeep::sim {
+
+SystemConfig make_system_config(const std::string& benchmark,
+                                const ExperimentOptions& opts) {
+  SystemConfig cfg;
+  cfg.benchmark = benchmark;
+  cfg.seed = opts.seed;
+  cfg.instructions = opts.instructions;
+  cfg.warmup_instructions = opts.warmup_instructions;
+
+  cfg.hierarchy.l2.scheme = opts.scheme;
+  cfg.hierarchy.l2.cleaning_interval = opts.cleaning_interval;
+  cfg.hierarchy.l2.cleaning_policy = opts.cleaning_policy;
+  cfg.hierarchy.l2.decay_threshold = opts.decay_threshold;
+  cfg.hierarchy.l2.ecc_entries_per_set = opts.ecc_entries_per_set;
+  cfg.hierarchy.l2.maintain_codes = opts.maintain_codes;
+  cfg.hierarchy.l2.seed = opts.seed;
+  return cfg;
+}
+
+RunResult run_benchmark(const std::string& benchmark,
+                        const ExperimentOptions& opts) {
+  System system(make_system_config(benchmark, opts));
+  return system.run();
+}
+
+std::vector<RunResult> run_suite(const std::vector<std::string>& benchmarks,
+                                 const ExperimentOptions& opts) {
+  std::vector<RunResult> out;
+  out.reserve(benchmarks.size());
+  for (const auto& b : benchmarks) out.push_back(run_benchmark(b, opts));
+  return out;
+}
+
+namespace {
+std::vector<std::string> names_of(const std::vector<workload::BenchmarkProfile>& ps) {
+  std::vector<std::string> out;
+  out.reserve(ps.size());
+  for (const auto& p : ps) out.push_back(p.name);
+  return out;
+}
+}  // namespace
+
+std::vector<std::string> all_benchmarks() {
+  return names_of(workload::spec2000_profiles());
+}
+std::vector<std::string> fp_benchmarks() {
+  return names_of(workload::fp_profiles());
+}
+std::vector<std::string> int_benchmarks() {
+  return names_of(workload::int_profiles());
+}
+
+std::string table1_text() {
+  std::ostringstream os;
+  os << "Baseline processor configuration (paper Table 1)\n"
+     << "  Issue window        64-entry RUU, 32-entry LSQ\n"
+     << "  Decode/issue rate   4 instructions per cycle\n"
+     << "  Functional units    4 INT add, 1 INT mult/div, 1 FP add, 1 FP mult/div\n"
+     << "  L1 instruction      32KB 4-way, 32B line, 1-cycle\n"
+     << "  L1 data             32KB 4-way, 32B line, 1-cycle (write-through, 16-entry write buffer)\n"
+     << "  L2 unified          1MB 4-way, 64B line, 10-cycle (write-back)\n"
+     << "  Main memory         8B-wide split-transaction bus, 100-cycle\n"
+     << "  Branch prediction   2-level, 2K BTB\n"
+     << "  ITLB / DTLB         64-entry 4-way / 128-entry 4-way\n";
+  return os.str();
+}
+
+}  // namespace aeep::sim

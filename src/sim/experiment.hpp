@@ -1,0 +1,58 @@
+// Experiment-runner helpers shared by the benches, examples and tests:
+// building Table-1 system configurations with the protection scheme under
+// study, running one benchmark, and pretty-printing the machine description.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace aeep::sim {
+
+/// Per-experiment knobs on top of the fixed Table-1 machine.
+struct ExperimentOptions {
+  protect::SchemeKind scheme = protect::SchemeKind::kUniformEcc;
+  Cycle cleaning_interval = 0;   ///< 0 = cleaning disabled
+  protect::CleaningPolicy cleaning_policy =
+      protect::CleaningPolicy::kWrittenBit;
+  unsigned decay_threshold = 2;
+  unsigned ecc_entries_per_set = 1;
+  u64 instructions = 2'000'000;
+  u64 warmup_instructions = 200'000;
+  u64 seed = 42;
+  /// Skip real check-bit encode/decode for timing-only sweeps (the paper's
+  /// metrics never depend on code contents, only on dirty-state dynamics).
+  bool maintain_codes = false;
+};
+
+/// The Table-1 machine with `opts` applied, ready for System().
+SystemConfig make_system_config(const std::string& benchmark,
+                                const ExperimentOptions& opts);
+
+/// Build and run one benchmark.
+RunResult run_benchmark(const std::string& benchmark,
+                        const ExperimentOptions& opts);
+
+/// Run a list of benchmarks, returning results in order.
+std::vector<RunResult> run_suite(const std::vector<std::string>& benchmarks,
+                                 const ExperimentOptions& opts);
+
+/// Names of all / FP-only / INT-only benchmarks.
+std::vector<std::string> all_benchmarks();
+std::vector<std::string> fp_benchmarks();
+std::vector<std::string> int_benchmarks();
+
+/// Human-readable Table-1 processor description (printed by bench headers).
+std::string table1_text();
+
+/// Arithmetic mean of a projection over results.
+template <typename Proj>
+double mean_of(const std::vector<RunResult>& rs, Proj proj) {
+  if (rs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : rs) sum += proj(r);
+  return sum / static_cast<double>(rs.size());
+}
+
+}  // namespace aeep::sim

@@ -1,0 +1,114 @@
+#include "sim/hierarchy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aeep::sim {
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
+    : config_(config),
+      store_(),
+      bus_(config.bus),
+      l2_(config.l2, bus_, store_),
+      l1i_(config.l1i),
+      l1d_(config.l1d),
+      itlb_(config.itlb),
+      dtlb_(config.dtlb),
+      wbuf_(config.write_buffer_entries, config.l2.geometry.line_bytes) {}
+
+Cycle MemoryHierarchy::fetch(Cycle now, Addr pc) {
+  const Cycle tlb_extra = itlb_.access(pc, now);
+  const cache::ProbeResult pr = l1i_.probe(pc);
+  auto& st = l1i_.stats();
+  ++st.reads;
+  if (pr.hit) {
+    ++st.read_hits;
+    l1i_.touch(pr.set, pr.way, now);
+    return now + config_.l1_latency + tlb_extra;
+  }
+  // L1I miss: fill through the unified L2. Instructions are never dirty.
+  const cache::Victim victim = l1i_.pick_victim(pr.set);
+  const Addr line = l1i_.geometry().line_base(pc);
+  const Cycle ready = l2_.read(now + config_.l1_latency + tlb_extra, line);
+  l1i_.install(pr.set, victim.way, line, now);
+  return ready;
+}
+
+Cycle MemoryHierarchy::load(Cycle now, Addr addr) {
+  const Cycle tlb_extra = dtlb_.access(addr, now);
+  const cache::ProbeResult pr = l1d_.probe(addr);
+  auto& st = l1d_.stats();
+  ++st.reads;
+  if (pr.hit) {
+    ++st.read_hits;
+    l1d_.touch(pr.set, pr.way, now);
+    return now + config_.l1_latency + tlb_extra;
+  }
+  const cache::Victim victim = l1d_.pick_victim(pr.set);
+  const Addr line = l1d_.geometry().line_base(addr);
+  const Cycle ready = l2_.read(now + config_.l1_latency + tlb_extra, line);
+  l1d_.install(pr.set, victim.way, line, now);
+  return ready;
+}
+
+bool MemoryHierarchy::store(Cycle now, Addr addr, u64 value) {
+  // Write-through, write-no-allocate L1D: update in place on hit, never
+  // dirty; all stores go to the write buffer. A store to a line already
+  // buffered coalesces even when the buffer is full (CAM hit).
+  const auto res = wbuf_.push(addr, value);
+  if (res == cache::WriteBuffer::PushResult::kFull) {
+    // Caller retries next cycle; tick() keeps draining meanwhile.
+    return false;
+  }
+  if (res == cache::WriteBuffer::PushResult::kNew) wbuf_ages_.push_back(now);
+
+  dtlb_.access(addr, now);
+  const cache::ProbeResult pr = l1d_.probe(addr);
+  auto& st = l1d_.stats();
+  ++st.writes;
+  if (pr.hit) {
+    ++st.write_hits;
+    l1d_.touch(pr.set, pr.way, now);
+    auto data = l1d_.data(pr.set, pr.way);
+    data[(addr - l1d_.geometry().line_base(addr)) / 8] = value;
+  }
+  return true;
+}
+
+void MemoryHierarchy::drain_front(Cycle now) {
+  cache::WriteBufferEntry e = wbuf_.pop();
+  wbuf_ages_.pop_front();
+  const Cycle done = l2_.write(now, e.line, e.word_mask, e.words);
+  // The next drain may start after this one's L2 array occupancy; the
+  // demand-fill part of a write-allocate miss overlaps with later drains,
+  // so charge only the hit latency as occupancy.
+  wb_issue_free_ = std::max(wb_issue_free_, now) + config_.l2.hit_latency;
+  (void)done;
+}
+
+void MemoryHierarchy::tick(Cycle now) {
+  while (!wbuf_.empty() && wb_issue_free_ <= now) {
+    const bool over_watermark = wbuf_.size() > config_.wb_high_watermark;
+    const bool aged =
+        now >= wbuf_ages_.front() + config_.wb_min_residency;
+    if (!over_watermark && !aged) break;
+    drain_front(now);
+  }
+  l2_.tick(now);
+}
+
+void MemoryHierarchy::flush_write_buffer(Cycle now) {
+  while (!wbuf_.empty()) drain_front(now);
+}
+
+void MemoryHierarchy::reset_stats(Cycle now) {
+  bus_.reset_stats();
+  l1i_.stats() = {};
+  l1d_.stats() = {};
+  wbuf_.reset_stats();
+  itlb_.reset_stats();
+  dtlb_.reset_stats();
+  l2_.reset_metrics(now);
+}
+
+}  // namespace aeep::sim

@@ -1,0 +1,77 @@
+// Memory hierarchy of the paper's baseline machine (§3, Table 1):
+// write-through L1 caches protected by parity (not modelled as stored bits —
+// L1 recovery is always refetch), a 16-entry coalescing write buffer, and a
+// write-back unified L2 behind it carrying the protection scheme under
+// study, over a split-transaction bus to main memory.
+#pragma once
+
+#include <deque>
+
+#include "cache/cache.hpp"
+#include "cache/write_buffer.hpp"
+#include "cpu/memory_iface.hpp"
+#include "cpu/tlb.hpp"
+#include "mem/bus.hpp"
+#include "mem/memory_store.hpp"
+#include "protect/protected_l2.hpp"
+
+namespace aeep::sim {
+
+struct HierarchyConfig {
+  cache::CacheGeometry l1i = cache::kL1IGeometry;
+  cache::CacheGeometry l1d = cache::kL1DGeometry;
+  Cycle l1_latency = 1;
+  protect::L2Config l2{};
+  mem::BusConfig bus{};
+  cpu::TlbConfig itlb{64, 4, 4096, 30};
+  cpu::TlbConfig dtlb{128, 4, 4096, 30};
+  unsigned write_buffer_entries = 16;
+  /// A write-buffer entry drains once it is this old (coalescing window) or
+  /// once occupancy exceeds the watermark — whichever comes first.
+  Cycle wb_min_residency = 64;
+  unsigned wb_high_watermark = 12;
+};
+
+class MemoryHierarchy final : public cpu::MemoryInterface {
+ public:
+  explicit MemoryHierarchy(const HierarchyConfig& config);
+
+  Cycle fetch(Cycle now, Addr pc) override;
+  Cycle load(Cycle now, Addr addr) override;
+  bool store(Cycle now, Addr addr, u64 value) override;
+  void tick(Cycle now) override;
+
+  /// Drain every write-buffer entry (end of run / before fault campaigns).
+  void flush_write_buffer(Cycle now);
+
+  protect::ProtectedL2& l2() { return l2_; }
+  const protect::ProtectedL2& l2() const { return l2_; }
+  cache::Cache& l1i() { return l1i_; }
+  cache::Cache& l1d() { return l1d_; }
+  const cache::WriteBuffer& write_buffer() const { return wbuf_; }
+  mem::SplitTransactionBus& bus() { return bus_; }
+  mem::MemoryStore& memory() { return store_; }
+  cpu::Tlb& itlb() { return itlb_; }
+  cpu::Tlb& dtlb() { return dtlb_; }
+  const HierarchyConfig& config() const { return config_; }
+
+  /// Zero all statistics (not state) — used after cache warm-up.
+  void reset_stats(Cycle now);
+
+ private:
+  void drain_front(Cycle now);
+
+  HierarchyConfig config_;
+  mem::MemoryStore store_;
+  mem::SplitTransactionBus bus_;
+  protect::ProtectedL2 l2_;
+  cache::Cache l1i_;
+  cache::Cache l1d_;
+  cpu::Tlb itlb_;
+  cpu::Tlb dtlb_;
+  cache::WriteBuffer wbuf_;
+  std::deque<Cycle> wbuf_ages_;  ///< enqueue cycle of each buffer entry
+  Cycle wb_issue_free_ = 0;
+};
+
+}  // namespace aeep::sim

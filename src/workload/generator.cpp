@@ -1,0 +1,164 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aeep::workload {
+
+using cpu::MicroOp;
+using cpu::OpClass;
+
+namespace {
+/// Deterministic per-site hash for loop-body shaping.
+u64 site_hash(Addr site) {
+  u64 z = site + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+SyntheticWorkload::SyntheticWorkload(const BenchmarkProfile& profile, u64 seed)
+    : profile_(profile),
+      rng_(seed ^ site_hash(site_hash(seed + 1))),
+      zipf_(std::max<u64>(1, profile.data_footprint / 64), profile.zipf_s,
+            seed + 0x5151),
+      pc_(kCodeBase),
+      loop_start_(kCodeBase),
+      num_regions_(std::max<u64>(1, profile.write_footprint / profile.region_bytes)),
+      region_words_(std::max<u64>(1, profile.region_bytes / 8)) {
+  assert(profile.body_uops >= 2);
+  start_loop(kCodeBase);
+  region_stores_left_ = std::max<u64>(
+      1, static_cast<u64>(profile_.region_write_passes *
+                          static_cast<double>(profile_.region_bytes / 64)));
+}
+
+void SyntheticWorkload::start_loop(Addr at) {
+  loop_start_ = at;
+  const u64 h = site_hash(at);
+  // Body length: profile mean +/- 50%, deterministic per site.
+  const unsigned span = std::max(1u, profile_.body_uops / 2);
+  body_uops_ = profile_.body_uops - span / 2 + static_cast<unsigned>(h % (span + 1));
+  body_uops_ = std::max(2u, body_uops_);
+  // Trip count: deterministic per site (real loop bounds are mostly stable
+  // across entries, which is what makes them predictable), spread around the
+  // profile mean.
+  const unsigned spread = std::max(1u, 2 * profile_.avg_loop_trips - 1);
+  trips_left_ = 1 + static_cast<unsigned>((h >> 17) % spread);
+  body_pos_ = 0;
+}
+
+Addr SyntheticWorkload::next_load_addr() {
+  if (rng_.chance(profile_.stream_frac)) {
+    const Addr a = kDataBase + stream_pos_;
+    stream_pos_ = (stream_pos_ + 8) % profile_.data_footprint;
+    return a;
+  }
+  const u64 line = zipf_.sample();
+  const u64 word = rng_.next_below(8);
+  return kDataBase + line * 64 + word * 8;
+}
+
+Addr SyntheticWorkload::next_store_addr() {
+  // Stores sweep the active region at line stride — one word per line per
+  // pass, rotating which word — so each pass dirties every line of the
+  // region with a distinct write-buffer drain (real stencil sweeps touch
+  // whole lines; for dirty-state dynamics one store per line per pass is
+  // the faithful-and-sufficient model).
+  const u64 region_lines = std::max<u64>(1, profile_.region_bytes / 64);
+  if (region_stores_left_ == 0) {
+    // Region activation finished: remember it, then either revisit a
+    // recently finished region after a short gap (temporal write locality)
+    // or advance the long sweep.
+    recent_regions_[recent_count_ % recent_regions_.size()] = region_index_;
+    ++recent_count_;
+    if (recent_count_ >= 2 && rng_.chance(profile_.region_revisit_prob)) {
+      // Pick among the older recents so the revisited region has sat idle
+      // for one to three activations.
+      const unsigned depth =
+          std::min<unsigned>(recent_count_, recent_regions_.size());
+      const unsigned back = 2 + static_cast<unsigned>(
+                                    rng_.next_below(std::max(1u, depth - 1)));
+      region_index_ =
+          recent_regions_[(recent_count_ - std::min(back, depth)) %
+                          recent_regions_.size()];
+    } else {
+      region_index_ = sweep_next_region_;
+      sweep_next_region_ = (sweep_next_region_ + 1) % num_regions_;
+    }
+    region_cursor_ = 0;
+    region_stores_left_ = std::max<u64>(
+        1, static_cast<u64>(profile_.region_write_passes *
+                            static_cast<double>(region_lines)));
+  }
+  const u64 line = region_cursor_ % region_lines;
+  const u64 word = (region_cursor_ / region_lines) % 8;
+  const Addr a = kDataBase + region_index_ * profile_.region_bytes +
+                 line * 64 + word * 8;
+  ++region_cursor_;
+  --region_stores_left_;
+  return a;
+}
+
+void SyntheticWorkload::assign_deps(MicroOp& op) {
+  if (rng_.chance(profile_.dep1_prob))
+    op.dep1 = static_cast<u8>(1 + rng_.next_below(profile_.max_dep_dist));
+  if (rng_.chance(profile_.dep2_prob))
+    op.dep2 = static_cast<u8>(1 + rng_.next_below(profile_.max_dep_dist));
+}
+
+MicroOp SyntheticWorkload::make_branch() {
+  MicroOp op;
+  op.cls = OpClass::kBranch;
+  op.pc = pc_;
+  const bool taken = trips_left_ > 0;
+  op.branch_taken = taken;
+  op.branch_target = loop_start_;
+  assign_deps(op);
+  if (taken) {
+    --trips_left_;
+    pc_ = loop_start_;
+    body_pos_ = 0;
+  } else {
+    // Fall through into the next loop; wrap within the code footprint.
+    Addr next = pc_ + 4;
+    if (next >= kCodeBase + profile_.code_footprint) next = kCodeBase;
+    pc_ = next;
+    start_loop(next);
+  }
+  return op;
+}
+
+MicroOp SyntheticWorkload::next() {
+  // The last uop of each body is its backward branch.
+  if (body_pos_ + 1 >= body_uops_) {
+    return make_branch();
+  }
+
+  MicroOp op;
+  op.pc = pc_;
+  pc_ += 4;
+  ++body_pos_;
+
+  const double roll = rng_.next_double();
+  if (roll < profile_.load_frac) {
+    op.cls = OpClass::kLoad;
+    op.mem_addr = next_load_addr();
+  } else if (roll < profile_.load_frac + profile_.store_frac) {
+    op.cls = OpClass::kStore;
+    op.mem_addr = next_store_addr();
+    op.store_value = rng_.next();
+  } else {
+    // ALU work.
+    if (profile_.floating_point && rng_.chance(profile_.fp_alu_frac)) {
+      op.cls = rng_.chance(profile_.mul_frac) ? OpClass::kFpMul : OpClass::kFpAlu;
+    } else {
+      op.cls = rng_.chance(profile_.mul_frac) ? OpClass::kIntMul : OpClass::kIntAlu;
+    }
+  }
+  assign_deps(op);
+  return op;
+}
+
+}  // namespace aeep::workload

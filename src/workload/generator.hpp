@@ -1,0 +1,70 @@
+// Synthetic micro-op generator implementing a BenchmarkProfile.
+//
+// Code model: the program is a chain of loops laid out over the code
+// footprint. Each loop has a deterministic per-site body length and a
+// sampled trip count; its backward branch is taken trip-count times then
+// falls through — so the 2-level predictor sees learnable behaviour with
+// mispredicts clustered at loop exits, as in real codes.
+//
+// Data model:
+//   loads  — a `stream_frac` fraction walk the data footprint sequentially;
+//            the rest sample lines under a Zipf distribution (hot/cold).
+//   stores — sweep the write footprint region by region. A region stays
+//            active for `region_write_passes` passes over its words before
+//            the sweep advances, giving cache lines the generational
+//            write-burst-then-dead-time structure the paper's cleaning
+//            technique exploits (§3.2, citing cache decay).
+#pragma once
+
+#include <array>
+
+#include "common/rng.hpp"
+#include "cpu/uop.hpp"
+#include "workload/profile.hpp"
+
+namespace aeep::workload {
+
+class SyntheticWorkload final : public cpu::UopSource {
+ public:
+  SyntheticWorkload(const BenchmarkProfile& profile, u64 seed);
+
+  cpu::MicroOp next() override;
+  const char* name() const override { return profile_.name.c_str(); }
+
+  const BenchmarkProfile& profile() const { return profile_; }
+
+  /// Layout constants (also used by tests).
+  static constexpr Addr kCodeBase = 0x0040'0000;
+  static constexpr Addr kDataBase = 0x4000'0000;
+
+ private:
+  cpu::MicroOp make_branch();
+  Addr next_load_addr();
+  Addr next_store_addr();
+  void start_loop(Addr at);
+  void assign_deps(cpu::MicroOp& op);
+
+  BenchmarkProfile profile_;
+  Xorshift64Star rng_;
+  ZipfSampler zipf_;
+
+  // Code state.
+  Addr pc_;
+  Addr loop_start_;
+  unsigned body_uops_;       ///< uops in the current loop body (incl. branch)
+  unsigned body_pos_ = 0;    ///< uops emitted in the current body
+  unsigned trips_left_ = 0;
+
+  // Data state.
+  u64 stream_pos_ = 0;       ///< sequential-load cursor (bytes)
+  u64 num_regions_;
+  u64 region_words_;
+  u64 region_index_ = 0;
+  u64 region_cursor_ = 0;    ///< store cursor within the active region
+  u64 region_stores_left_;
+  u64 sweep_next_region_ = 1;              ///< sweep-order successor
+  std::array<u64, 4> recent_regions_{};    ///< revisit candidates
+  unsigned recent_count_ = 0;
+};
+
+}  // namespace aeep::workload

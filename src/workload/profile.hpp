@@ -1,0 +1,69 @@
+// Synthetic SPEC2000-like benchmark profiles.
+//
+// Each profile parameterises the generator in generator.hpp so that the
+// memory-reference stream reproduces the *behavioural* properties the paper
+// measures on real SPEC2000 binaries: footprint vs the 1 MB L2, fraction of
+// resident lines that get written (Figure 1's dirty percentages), write
+// generational structure (sweep/burst periods that interact with the 64K-4M
+// cleaning intervals), branch predictability and op mix. See DESIGN.md §3
+// for the substitution rationale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace aeep::workload {
+
+struct BenchmarkProfile {
+  std::string name;
+  bool floating_point = false;
+
+  // --- op mix (fractions of all micro-ops; remainder is ALU work) ---
+  double load_frac = 0.25;
+  double store_frac = 0.10;
+  // Branch spacing is structural: one branch terminates each loop body of
+  // roughly `body_uops` micro-ops.
+  unsigned body_uops = 8;
+
+  // Of non-memory, non-branch ops: fraction on FP units and mult/div units.
+  double fp_alu_frac = 0.0;
+  double mul_frac = 0.05;
+
+  // --- data footprint ---
+  u64 data_footprint = 512 * KiB;   ///< bytes of data ever touched
+  u64 write_footprint = 256 * KiB;  ///< bytes that receive stores
+  u64 region_bytes = 4 * KiB;       ///< active write-region granularity
+  double region_write_passes = 1.5; ///< avg times each region line is
+                                    ///< stored per activation (>1 sets
+                                    ///< written bits)
+  /// After finishing a region activation, probability that the next
+  /// activation revisits a recently finished region (short write gap)
+  /// instead of advancing the sweep. Revisits are what make very small
+  /// cleaning intervals pay premature write-backs (Figures 5/6).
+  double region_revisit_prob = 0.35;
+  double stream_frac = 0.5;         ///< loads streaming sequentially
+  double zipf_s = 0.8;              ///< skew of the remaining random loads
+
+  // --- code behaviour ---
+  u64 code_footprint = 32 * KiB;
+  unsigned avg_loop_trips = 16;     ///< loop trip count (branch behaviour)
+
+  // --- dependencies ---
+  double dep1_prob = 0.7;
+  double dep2_prob = 0.3;
+  u8 max_dep_dist = 6;
+};
+
+/// The 7 floating-point + 7 integer benchmarks evaluated by the paper.
+const std::vector<BenchmarkProfile>& spec2000_profiles();
+
+/// Subsets matching the paper's Figure 3/5 (FP) and Figure 4/6 (INT) splits.
+std::vector<BenchmarkProfile> fp_profiles();
+std::vector<BenchmarkProfile> int_profiles();
+
+/// Lookup by name; throws std::out_of_range on unknown benchmark.
+const BenchmarkProfile& profile_by_name(const std::string& name);
+
+}  // namespace aeep::workload

@@ -1,0 +1,123 @@
+#include "workload/trace.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace aeep::workload {
+
+namespace {
+
+// Fixed-size on-disk record (little-endian, no padding surprises).
+struct TraceRecord {
+  u64 pc;
+  u64 mem_addr;
+  u64 store_value;
+  u64 branch_target;
+  u8 cls;
+  u8 branch_taken;
+  u8 dep1;
+  u8 dep2;
+  u8 pad[4];
+};
+static_assert(sizeof(TraceRecord) == 40);
+
+struct TraceHeader {
+  u32 magic;
+  u32 version;
+  u64 count;
+};
+static_assert(sizeof(TraceHeader) == 16);
+
+TraceRecord to_record(const cpu::MicroOp& op) {
+  TraceRecord r{};
+  r.pc = op.pc;
+  r.mem_addr = op.mem_addr;
+  r.store_value = op.store_value;
+  r.branch_target = op.branch_target;
+  r.cls = static_cast<u8>(op.cls);
+  r.branch_taken = op.branch_taken ? 1 : 0;
+  r.dep1 = op.dep1;
+  r.dep2 = op.dep2;
+  return r;
+}
+
+cpu::MicroOp from_record(const TraceRecord& r) {
+  cpu::MicroOp op;
+  op.pc = r.pc;
+  op.mem_addr = r.mem_addr;
+  op.store_value = r.store_value;
+  op.branch_target = r.branch_target;
+  op.cls = static_cast<cpu::OpClass>(r.cls);
+  op.branch_taken = r.branch_taken != 0;
+  op.dep1 = r.dep1;
+  op.dep2 = r.dep2;
+  return op;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path)
+    : file_(std::fopen(path.c_str(), "wb")) {
+  if (!file_) throw std::runtime_error("cannot open trace for writing: " + path);
+  // Placeholder header; count patched in close().
+  const TraceHeader h{kTraceMagic, kTraceVersion, 0};
+  std::fwrite(&h, sizeof h, 1, file_);
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::append(const cpu::MicroOp& op) {
+  if (!file_) throw std::logic_error("trace writer already closed");
+  const TraceRecord r = to_record(op);
+  if (std::fwrite(&r, sizeof r, 1, file_) != 1)
+    throw std::runtime_error("trace write failed");
+  ++count_;
+}
+
+void TraceWriter::close() {
+  if (!file_) return;
+  const TraceHeader h{kTraceMagic, kTraceVersion, count_};
+  std::fseek(file_, 0, SEEK_SET);
+  std::fwrite(&h, sizeof h, 1, file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+TraceReplaySource::TraceReplaySource(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("cannot open trace: " + path);
+  TraceHeader h{};
+  if (std::fread(&h, sizeof h, 1, f) != 1 || h.magic != kTraceMagic ||
+      h.version != kTraceVersion) {
+    std::fclose(f);
+    throw std::runtime_error("bad trace header: " + path);
+  }
+  ops_.reserve(h.count);
+  TraceRecord r{};
+  for (u64 i = 0; i < h.count; ++i) {
+    if (std::fread(&r, sizeof r, 1, f) != 1) {
+      std::fclose(f);
+      throw std::runtime_error("truncated trace: " + path);
+    }
+    ops_.push_back(from_record(r));
+  }
+  std::fclose(f);
+  if (ops_.empty()) throw std::runtime_error("empty trace: " + path);
+}
+
+cpu::MicroOp TraceReplaySource::next() {
+  const cpu::MicroOp op = ops_[pos_];
+  if (++pos_ == ops_.size()) {
+    pos_ = 0;
+    ++wraps_;
+  }
+  return op;
+}
+
+void record_trace(cpu::UopSource& source, const std::string& path, u64 n) {
+  TraceWriter writer(path);
+  for (u64 i = 0; i < n; ++i) writer.append(source.next());
+  writer.close();
+}
+
+}  // namespace aeep::workload

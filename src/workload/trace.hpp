@@ -1,0 +1,64 @@
+// Micro-op trace record / replay.
+//
+// Lets a synthetic stream be captured once and replayed bit-exactly — for
+// cross-configuration experiments that must see the *identical* reference
+// stream, for sharing workloads between machines, and for plugging external
+// trace sources (e.g. converted real-application traces) into the timing
+// model. Binary format: 16-byte header (magic, version, count) followed by
+// fixed-size little-endian records.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/uop.hpp"
+
+namespace aeep::workload {
+
+inline constexpr u32 kTraceMagic = 0x41455054;  // "AEPT"
+inline constexpr u32 kTraceVersion = 1;
+
+/// Streams micro-ops to a file.
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void append(const cpu::MicroOp& op);
+  /// Finalizes the header (count) and closes the file.
+  void close();
+
+  u64 count() const { return count_; }
+
+ private:
+  std::FILE* file_;
+  u64 count_ = 0;
+};
+
+/// Replays a recorded trace; loops back to the start when exhausted so the
+/// core can run longer than the capture (wrap count is reported).
+class TraceReplaySource final : public cpu::UopSource {
+ public:
+  explicit TraceReplaySource(const std::string& path);
+
+  cpu::MicroOp next() override;
+  const char* name() const override { return "trace-replay"; }
+
+  u64 size() const { return ops_.size(); }
+  u64 wraps() const { return wraps_; }
+
+ private:
+  std::vector<cpu::MicroOp> ops_;
+  std::size_t pos_ = 0;
+  u64 wraps_ = 0;
+};
+
+/// Capture `n` micro-ops from any source into a trace file.
+void record_trace(cpu::UopSource& source, const std::string& path, u64 n);
+
+}  // namespace aeep::workload

@@ -1,0 +1,228 @@
+// Tests for the common substrate: bit utilities, RNG and Zipf sampling,
+// statistics primitives (including the cycle-exact time-weighted level used
+// for the dirty-lines-per-cycle metric), CLI parsing and table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/bitops.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace aeep {
+namespace {
+
+TEST(Bitops, PowersOfTwo) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(4096), 12u);
+}
+
+TEST(Bitops, BitManipulation) {
+  EXPECT_EQ(popcount64(0xFFull), 8u);
+  EXPECT_EQ(parity64(0b101), 0u);
+  EXPECT_EQ(parity64(0b111), 1u);
+  EXPECT_EQ(bit_of(0b100, 2), 1u);
+  EXPECT_EQ(bit_of(0b100, 1), 0u);
+  EXPECT_EQ(with_bit(0, 5, 1), 32u);
+  EXPECT_EQ(with_bit(32, 5, 0), 0u);
+  EXPECT_EQ(flip_bit(0, 63), 1ull << 63);
+  EXPECT_EQ(bits_of(0xABCD, 4, 8), 0xBCull);
+  EXPECT_EQ(bits_of(~u64{0}, 0, 64), ~u64{0});
+  EXPECT_EQ(round_up_pow2(100, 64), 128u);
+  EXPECT_EQ(round_up_pow2(128, 64), 128u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xorshift64Star a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xorshift64Star a(1), b(2);
+  unsigned same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0u);
+}
+
+TEST(Rng, ZeroSeedIsRemapped) {
+  Xorshift64Star z(0);
+  EXPECT_NE(z.next(), 0u);  // xorshift with zero state would stick at zero
+}
+
+TEST(Rng, BoundsRespected) {
+  Xorshift64Star r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Xorshift64Star r(8);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (r.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Xorshift64Star r(9);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.next_geometric(0.25));
+  EXPECT_NEAR(sum / n, 4.0, 0.1);  // mean of geometric = 1/p
+}
+
+TEST(Zipf, SamplesInRangeAndSkewed) {
+  ZipfSampler z(1000, 1.0, 42);
+  std::map<u64, u64> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const u64 s = z.sample();
+    ASSERT_LT(s, 1000u);
+    ++counts[s];
+  }
+  // Rank 0 should be roughly twice as popular as rank 1 for s=1.
+  EXPECT_GT(counts[0], counts[1]);
+  const double ratio =
+      static_cast<double>(counts[0]) / static_cast<double>(counts[1]);
+  EXPECT_NEAR(ratio, 2.0, 0.5);
+  // And vastly more popular than deep tail ranks.
+  EXPECT_GT(counts[0], counts[900] * 20);
+}
+
+TEST(Zipf, UniformWhenExponentZero) {
+  ZipfSampler z(100, 0.0, 43);
+  std::vector<u64> counts(100, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample()];
+  for (int k : {0, 13, 57, 99})
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, 0.01, 0.004);
+}
+
+TEST(Stats, CounterBasics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(9);
+  EXPECT_EQ(c.value(), 10u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, RunningMeanTracksMinMax) {
+  RunningMean m;
+  EXPECT_EQ(m.mean(), 0.0);
+  m.add(2.0);
+  m.add(4.0);
+  m.add(9.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+  EXPECT_EQ(m.count(), 3u);
+}
+
+TEST(Stats, TimeWeightedLevelIsExact) {
+  TimeWeightedLevel l;
+  l.reset(0, 0.0);
+  l.update(10, 4.0);   // level 0 over [0,10)
+  l.update(20, 8.0);   // level 4 over [10,20)
+  l.update(40, 8.0);   // level 8 over [20,40)
+  // average = (0*10 + 4*10 + 8*20) / 40 = 200/40 = 5
+  EXPECT_DOUBLE_EQ(l.average(), 5.0);
+  EXPECT_DOUBLE_EQ(l.current(), 8.0);
+  EXPECT_EQ(l.elapsed(), 40u);
+}
+
+TEST(Stats, TimeWeightedLevelSameCycleUpdates) {
+  TimeWeightedLevel l;
+  l.reset(5, 1.0);
+  l.update(5, 3.0);  // instantaneous change, no weight at level 1
+  l.update(15, 3.0);
+  EXPECT_DOUBLE_EQ(l.average(), 3.0);
+}
+
+TEST(Stats, HistogramBucketsAndPercentile) {
+  Histogram h(10, 10);  // buckets [0,10) .. [90,100) + overflow
+  for (u64 v = 0; v < 100; ++v) h.add(v);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.bucket(0), 10u);
+  EXPECT_EQ(h.bucket(9), 10u);
+  EXPECT_EQ(h.percentile(0.5), 50u);
+  h.add(1000, 5);  // overflow bucket
+  EXPECT_EQ(h.bucket(10), 5u);
+}
+
+TEST(Stats, RegistryAggregates) {
+  StatRegistry reg;
+  reg.counter("l2.wb.clean").inc(3);
+  reg.counter("l2.wb.ecc").inc(5);
+  reg.running_mean("ipc").add(1.5);
+  const auto cs = reg.counters();
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[0].first, "l2.wb.clean");
+  EXPECT_EQ(cs[0].second, 3u);
+  reg.reset_all();
+  EXPECT_EQ(reg.counter("l2.wb.clean").value(), 0u);
+}
+
+TEST(Cli, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--alpha=5", "--beta", "pos1", "--gamma=x"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.get_u64("alpha", 0), 5u);
+  EXPECT_TRUE(args.get_bool("beta", false));
+  EXPECT_EQ(args.get("gamma", ""), "x");
+  EXPECT_EQ(args.get("missing", "d"), "d");
+  ASSERT_EQ(args.positionals().size(), 1u);
+  EXPECT_EQ(args.positionals()[0], "pos1");
+}
+
+TEST(Cli, NumericSuffixes) {
+  const char* argv[] = {"prog", "--a=64K", "--b=1M", "--c=2G", "--d=123"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.get_u64("a", 0), u64{64} << 10);
+  EXPECT_EQ(args.get_u64("b", 0), u64{1} << 20);
+  EXPECT_EQ(args.get_u64("c", 0), u64{2} << 30);
+  EXPECT_EQ(args.get_u64("d", 0), 123u);
+}
+
+TEST(Cli, TracksUnusedKeys) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  CliArgs args(3, argv);
+  (void)args.get_u64("used", 0);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Table, RendersAlignedRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1.25"});
+  t.add_row({"b", "100.00"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("100.00"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, Formatting) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::pct(0.125, 1), "12.5%");
+}
+
+}  // namespace
+}  // namespace aeep

@@ -1,0 +1,282 @@
+// Tests for the error-code implementations: parity, byte parity, and the
+// SECDED(72,64) extended Hamming code — including exhaustive single-bit
+// correction over all codeword positions and double-bit detection sweeps.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "ecc/line_codec.hpp"
+#include "ecc/parity.hpp"
+#include "ecc/secded.hpp"
+
+namespace aeep::ecc {
+namespace {
+
+TEST(ParityCodec, EncodesEvenParity) {
+  ParityCodec even(false);
+  EXPECT_EQ(even.encode(0), 0u);
+  EXPECT_EQ(even.encode(1), 1u);
+  EXPECT_EQ(even.encode(0b11), 0u);
+  EXPECT_EQ(even.encode(0b111), 1u);
+  EXPECT_EQ(even.check_bits(), 1u);
+  EXPECT_FALSE(even.corrects_single());
+}
+
+TEST(ParityCodec, OddParityComplementsEven) {
+  ParityCodec even(false), odd(true);
+  Xorshift64Star rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const u64 x = rng.next();
+    EXPECT_EQ(even.encode(x) ^ 1u, odd.encode(x));
+  }
+}
+
+TEST(ParityCodec, CleanWordDecodesOk) {
+  ParityCodec codec;
+  Xorshift64Star rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const u64 x = rng.next();
+    const auto r = codec.decode(x, codec.encode(x));
+    EXPECT_EQ(r.status, DecodeStatus::kOk);
+    EXPECT_EQ(r.data, x);
+  }
+}
+
+TEST(ParityCodec, DetectsEverySingleBitFlip) {
+  ParityCodec codec;
+  const u64 x = 0xDEADBEEFCAFEF00Dull;
+  const u64 c = codec.encode(x);
+  for (unsigned b = 0; b < 64; ++b) {
+    EXPECT_EQ(codec.decode(flip_bit(x, b), c).status,
+              DecodeStatus::kDetectedError);
+  }
+  // And a flipped check bit.
+  EXPECT_EQ(codec.decode(x, c ^ 1u).status, DecodeStatus::kDetectedError);
+}
+
+TEST(ParityCodec, MissesDoubleBitFlips) {
+  // Inherent parity limitation — documents the clean-line refetch rationale:
+  // a double flip in a clean line is invisible to parity, but the line's
+  // content is still recoverable from memory, so refetch-on-any-doubt works
+  // only for detected errors; double errors in clean lines are the residual
+  // vulnerability of parity (as in commercial parts).
+  ParityCodec codec;
+  const u64 x = 0x0123456789ABCDEFull;
+  const u64 c = codec.encode(x);
+  EXPECT_EQ(codec.decode(flip_bit(flip_bit(x, 3), 47), c).status,
+            DecodeStatus::kOk);
+}
+
+TEST(ByteParityCodec, DetectsFlipsInEachByte) {
+  ByteParityCodec codec;
+  EXPECT_EQ(codec.check_bits(), 8u);
+  const u64 x = 0xA5A5A5A55A5A5A5Aull;
+  const u64 c = codec.encode(x);
+  EXPECT_EQ(codec.decode(x, c).status, DecodeStatus::kOk);
+  for (unsigned b = 0; b < 64; ++b) {
+    EXPECT_EQ(codec.decode(flip_bit(x, b), c).status,
+              DecodeStatus::kDetectedError)
+        << "bit " << b;
+  }
+}
+
+TEST(ByteParityCodec, DetectsDoubleFlipAcrossBytes) {
+  ByteParityCodec codec;
+  const u64 x = 0x1111111122222222ull;
+  const u64 c = codec.encode(x);
+  // Two flips in different bytes remain detectable (unlike word parity).
+  EXPECT_EQ(codec.decode(flip_bit(flip_bit(x, 1), 62), c).status,
+            DecodeStatus::kDetectedError);
+}
+
+// ---------------------------------------------------------------------------
+// SECDED
+// ---------------------------------------------------------------------------
+
+TEST(Secded, MetaData) {
+  SecdedCodec codec;
+  EXPECT_EQ(codec.check_bits(), 8u);
+  EXPECT_TRUE(codec.corrects_single());
+  EXPECT_EQ(codec.name(), "secded(72,64)");
+}
+
+TEST(Secded, CleanWordsDecodeOk) {
+  SecdedCodec codec;
+  Xorshift64Star rng(21);
+  for (int i = 0; i < 2000; ++i) {
+    const u64 x = rng.next();
+    const u64 c = codec.encode(x);
+    EXPECT_LT(c, 256u);  // 8 live check bits
+    const auto r = codec.decode(x, c);
+    EXPECT_EQ(r.status, DecodeStatus::kOk);
+    EXPECT_EQ(r.data, x);
+    EXPECT_EQ(r.check, c);
+  }
+}
+
+/// Exhaustive: every single-bit flip in the 72-bit codeword is corrected,
+/// over a set of data words.
+class SecdedSingleBit : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SecdedSingleBit, CorrectsEveryDataBitFlip) {
+  SecdedCodec codec;
+  const u64 x = GetParam();
+  const u64 c = codec.encode(x);
+  for (unsigned b = 0; b < 64; ++b) {
+    const auto r = codec.decode(flip_bit(x, b), c);
+    ASSERT_EQ(r.status, DecodeStatus::kCorrectedSingle) << "bit " << b;
+    EXPECT_EQ(r.data, x) << "bit " << b;
+    EXPECT_EQ(r.check, c) << "bit " << b;
+    EXPECT_EQ(r.corrected_bit, b);
+  }
+}
+
+TEST_P(SecdedSingleBit, CorrectsEveryCheckBitFlip) {
+  SecdedCodec codec;
+  const u64 x = GetParam();
+  const u64 c = codec.encode(x);
+  for (unsigned b = 0; b < 8; ++b) {
+    const auto r = codec.decode(x, flip_bit(c, b));
+    ASSERT_EQ(r.status, DecodeStatus::kCorrectedSingle) << "check bit " << b;
+    EXPECT_EQ(r.data, x);
+    EXPECT_EQ(r.check, c);
+    EXPECT_EQ(r.corrected_bit, 64 + b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Words, SecdedSingleBit,
+    ::testing::Values(u64{0}, ~u64{0}, u64{1}, u64{0x8000000000000000ull},
+                      u64{0xDEADBEEFCAFEF00Dull}, u64{0x5555555555555555ull},
+                      u64{0xAAAAAAAAAAAAAAAAull}, u64{0x0123456789ABCDEFull},
+                      u64{0xF0F0F0F00F0F0F0Full}, u64{42}));
+
+TEST(Secded, DetectsAllDoubleDataBitFlips) {
+  SecdedCodec codec;
+  const u64 x = 0xC0FFEE0DDBA11AD5ull;
+  const u64 c = codec.encode(x);
+  // Exhaustive over all 64*63/2 data-bit pairs.
+  for (unsigned i = 0; i < 64; ++i) {
+    for (unsigned j = i + 1; j < 64; ++j) {
+      const auto r = codec.decode(flip_bit(flip_bit(x, i), j), c);
+      ASSERT_EQ(r.status, DecodeStatus::kDetectedDouble)
+          << "bits " << i << "," << j;
+    }
+  }
+}
+
+TEST(Secded, DetectsDataPlusCheckDoubleFlips) {
+  SecdedCodec codec;
+  const u64 x = 0x123456789ABCDEF0ull;
+  const u64 c = codec.encode(x);
+  for (unsigned i = 0; i < 64; ++i) {
+    for (unsigned j = 0; j < 8; ++j) {
+      const auto r = codec.decode(flip_bit(x, i), flip_bit(c, j));
+      ASSERT_EQ(r.status, DecodeStatus::kDetectedDouble)
+          << "data bit " << i << ", check bit " << j;
+    }
+  }
+}
+
+TEST(Secded, DetectsCheckCheckDoubleFlips) {
+  SecdedCodec codec;
+  const u64 x = 0x998877665544332ull;
+  const u64 c = codec.encode(x);
+  for (unsigned i = 0; i < 8; ++i) {
+    for (unsigned j = i + 1; j < 8; ++j) {
+      const auto r = codec.decode(x, flip_bit(flip_bit(c, i), j));
+      ASSERT_EQ(r.status, DecodeStatus::kDetectedDouble)
+          << "check bits " << i << "," << j;
+    }
+  }
+}
+
+TEST(Secded, CheckBitsDifferAcrossNeighbouringWords) {
+  // The code must actually depend on the data (regression against a codec
+  // that returns constants).
+  SecdedCodec codec;
+  Xorshift64Star rng(22);
+  unsigned diff = 0;
+  for (int i = 0; i < 256; ++i) {
+    const u64 x = rng.next();
+    if (codec.encode(x) != codec.encode(x + 1)) ++diff;
+  }
+  EXPECT_GT(diff, 200u);
+}
+
+// ---------------------------------------------------------------------------
+// Line codec
+// ---------------------------------------------------------------------------
+
+TEST(LineCodec, RoundTripsCleanLine) {
+  SecdedCodec secded;
+  LineCodec lc(secded, 64);
+  EXPECT_EQ(lc.words_per_line(), 8u);
+  EXPECT_EQ(lc.check_bits_per_line(), 64u);
+
+  Xorshift64Star rng(31);
+  ProtectedLine line;
+  for (int w = 0; w < 8; ++w) line.data.push_back(rng.next());
+  line.check = lc.encode(line.data);
+
+  const auto r = lc.decode(line);
+  EXPECT_EQ(r.worst, DecodeStatus::kOk);
+  EXPECT_EQ(r.words_ok, 8u);
+  EXPECT_EQ(r.data, line.data);
+}
+
+TEST(LineCodec, CorrectsScatteredSingleBitErrors) {
+  SecdedCodec secded;
+  LineCodec lc(secded, 64);
+  Xorshift64Star rng(32);
+  ProtectedLine line;
+  for (int w = 0; w < 8; ++w) line.data.push_back(rng.next());
+  const std::vector<u64> golden = line.data;
+  line.check = lc.encode(line.data);
+
+  // One flip in every word: all corrected independently.
+  for (int w = 0; w < 8; ++w)
+    line.data[w] = flip_bit(line.data[w], static_cast<unsigned>(rng.next_below(64)));
+
+  const auto r = lc.decode(line);
+  EXPECT_EQ(r.worst, DecodeStatus::kCorrectedSingle);
+  EXPECT_EQ(r.words_corrected, 8u);
+  EXPECT_EQ(r.data, golden);
+}
+
+TEST(LineCodec, ReportsWorstStatusAcrossWords) {
+  SecdedCodec secded;
+  LineCodec lc(secded, 64);
+  ProtectedLine line;
+  for (int w = 0; w < 8; ++w) line.data.push_back(0x1111111111111111ull * (w + 1));
+  line.check = lc.encode(line.data);
+  line.data[2] = flip_bit(line.data[2], 5);                       // single
+  line.data[6] = flip_bit(flip_bit(line.data[6], 1), 60);         // double
+
+  const auto r = lc.decode(line);
+  EXPECT_EQ(r.worst, DecodeStatus::kDetectedDouble);
+  EXPECT_EQ(r.words_corrected, 1u);
+  EXPECT_EQ(r.words_detected, 1u);
+  EXPECT_EQ(r.words_ok, 6u);
+}
+
+TEST(LineCodec, RejectsBadLineSize) {
+  SecdedCodec secded;
+  EXPECT_THROW(LineCodec(secded, 0), std::invalid_argument);
+  EXPECT_THROW(LineCodec(secded, 7), std::invalid_argument);
+  EXPECT_NO_THROW(LineCodec(secded, 32));
+}
+
+TEST(LineCodec, WorseOrdersSeverity) {
+  EXPECT_EQ(worse(DecodeStatus::kOk, DecodeStatus::kCorrectedSingle),
+            DecodeStatus::kCorrectedSingle);
+  EXPECT_EQ(worse(DecodeStatus::kDetectedDouble, DecodeStatus::kCorrectedSingle),
+            DecodeStatus::kDetectedDouble);
+  EXPECT_EQ(worse(DecodeStatus::kDetectedError, DecodeStatus::kOk),
+            DecodeStatus::kDetectedError);
+}
+
+}  // namespace
+}  // namespace aeep::ecc

@@ -1,0 +1,129 @@
+// Tests for the soft-error injection framework: classification correctness
+// and the protection guarantees of each scheme under single- and double-bit
+// faults, exercised end-to-end through a small simulated system.
+#include <gtest/gtest.h>
+
+#include "fault/injector.hpp"
+#include "sim/experiment.hpp"
+#include "sim/system.hpp"
+
+namespace aeep::fault {
+namespace {
+
+/// A small warmed-up system with real check bits, ready for injections.
+class FaultTest : public ::testing::TestWithParam<protect::SchemeKind> {
+ protected:
+  std::unique_ptr<sim::System> make_system(protect::SchemeKind scheme) {
+    sim::SystemConfig cfg;
+    cfg.benchmark = "gzip";
+    cfg.seed = 99;
+    cfg.warmup_instructions = 0;
+    cfg.instructions = 120'000;
+    cfg.hierarchy.l2.scheme = scheme;
+    cfg.hierarchy.l2.maintain_codes = true;
+    auto system = std::make_unique<sim::System>(cfg);
+    system->run();
+    system->hierarchy().flush_write_buffer(system->core().now());
+    return system;
+  }
+};
+
+TEST_P(FaultTest, SingleBitDataFlipsAlwaysRecovered) {
+  auto system = make_system(GetParam());
+  FaultCampaign campaign(system->hierarchy().l2(), 3);
+  for (int i = 0; i < 400; ++i) {
+    const auto r = campaign.inject(FaultTarget::kData, 1);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->cls, FaultClass::kRecovered)
+        << "outcome " << to_string(r->outcome) << " dirty "
+        << r->line_was_dirty;
+  }
+  EXPECT_EQ(campaign.tally().of(FaultClass::kRecovered), 400u);
+}
+
+TEST_P(FaultTest, SingleBitEccFlipsAreHarmless) {
+  auto system = make_system(GetParam());
+  FaultCampaign campaign(system->hierarchy().l2(), 4);
+  for (int i = 0; i < 200; ++i) {
+    const auto r = campaign.inject(FaultTarget::kEcc, 1);
+    if (!r) continue;  // no dirty line found (unlikely after a run)
+    EXPECT_EQ(r->cls, FaultClass::kRecovered);
+  }
+}
+
+TEST_P(FaultTest, DoubleBitDataFlipsNeverSilent) {
+  auto system = make_system(GetParam());
+  FaultCampaign campaign(system->hierarchy().l2(), 5);
+  for (int i = 0; i < 400; ++i) {
+    const auto r = campaign.inject(FaultTarget::kData, 2);
+    ASSERT_TRUE(r.has_value());
+    // Word parity misses double flips within one word, but the injector
+    // spreads flips across the whole line, so most double flips land in
+    // different words. For flips in one word of a *dirty* line SECDED
+    // detects (DUE); on a clean line refetch recovers. Either way, silent
+    // corruption must be impossible for data under ECC... except the
+    // clean-line same-word case under parity, which the scheme cannot see
+    // but which is *still recoverable* — the line is clean. We therefore
+    // assert: dirty lines never yield SDC.
+    if (r->line_was_dirty) {
+      EXPECT_NE(r->cls, FaultClass::kSilentCorruption);
+      EXPECT_NE(r->cls, FaultClass::kMiscorrected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, FaultTest,
+    ::testing::Values(protect::SchemeKind::kUniformEcc,
+                      protect::SchemeKind::kNonUniform,
+                      protect::SchemeKind::kSharedEccArray),
+    [](const auto& info) {
+      switch (info.param) {
+        case protect::SchemeKind::kUniformEcc: return "UniformEcc";
+        case protect::SchemeKind::kNonUniform: return "NonUniform";
+        case protect::SchemeKind::kSharedEccArray: return "SharedEccArray";
+      }
+      return "Unknown";
+    });
+
+TEST(FaultClassification, ParityTargetAbsentUnderUniformEcc) {
+  sim::SystemConfig cfg;
+  cfg.benchmark = "gzip";
+  cfg.warmup_instructions = 0;
+  cfg.instructions = 50'000;
+  cfg.hierarchy.l2.scheme = protect::SchemeKind::kUniformEcc;
+  sim::System system(cfg);
+  system.run();
+  FaultCampaign campaign(system.hierarchy().l2(), 6);
+  EXPECT_FALSE(campaign.inject(FaultTarget::kParity, 1).has_value());
+}
+
+TEST(FaultClassification, TallyAccumulates) {
+  sim::SystemConfig cfg;
+  cfg.benchmark = "gzip";
+  cfg.warmup_instructions = 0;
+  cfg.instructions = 50'000;
+  cfg.hierarchy.l2.scheme = protect::SchemeKind::kSharedEccArray;
+  sim::System system(cfg);
+  system.run();
+  FaultCampaign campaign(system.hierarchy().l2(), 7);
+  for (int i = 0; i < 50; ++i) campaign.inject_anywhere(1);
+  EXPECT_GT(campaign.tally().injections, 0u);
+  u64 sum = 0;
+  for (unsigned c = 0; c < kNumFaultClasses; ++c)
+    sum += campaign.tally().by_class[c];
+  EXPECT_EQ(sum, campaign.tally().injections);
+}
+
+TEST(FaultClassification, Names) {
+  EXPECT_STREQ(to_string(FaultTarget::kData), "data");
+  EXPECT_STREQ(to_string(FaultTarget::kParity), "parity");
+  EXPECT_STREQ(to_string(FaultTarget::kEcc), "ecc");
+  EXPECT_STREQ(to_string(FaultClass::kRecovered), "recovered");
+  EXPECT_STREQ(to_string(FaultClass::kDetectedUnrecoverable), "DUE");
+  EXPECT_STREQ(to_string(FaultClass::kSilentCorruption), "SDC");
+  EXPECT_STREQ(to_string(FaultClass::kMiscorrected), "miscorrected");
+}
+
+}  // namespace
+}  // namespace aeep::fault

@@ -1,0 +1,150 @@
+// Focused tests for sim::MemoryHierarchy: the write-through L1D + write
+// buffer path, L1I/L1D fill-through-L2 timing, TLB penalties, and the
+// drain policy (coalescing window, watermark).
+#include <gtest/gtest.h>
+
+#include "sim/hierarchy.hpp"
+
+namespace aeep::sim {
+namespace {
+
+HierarchyConfig small_config() {
+  HierarchyConfig cfg;
+  // Keep the Table-1 shape but a small L2 so conflict tests are cheap.
+  cfg.l2.geometry = cache::CacheGeometry{64 * KiB, 4, 64};
+  cfg.l2.scheme = protect::SchemeKind::kNonUniform;
+  cfg.l2.maintain_codes = true;
+  return cfg;
+}
+
+TEST(Hierarchy, L1DHitIsOneCycle) {
+  MemoryHierarchy h(small_config());
+  const Addr a = 0x1000;
+  h.load(0, a);                      // cold miss warms L1D
+  const Cycle t = h.load(500, a);    // now a hit
+  EXPECT_EQ(t, 501u);
+  EXPECT_EQ(h.l1d().stats().read_hits, 1u);
+}
+
+TEST(Hierarchy, L1DMissGoesThroughL2) {
+  MemoryHierarchy h(small_config());
+  const Cycle t = h.load(0, 0x2000);
+  // 1 (L1) + 30 (cold DTLB) + 10 (L2 hit lat) + 100 (DRAM) + 8 beats.
+  EXPECT_EQ(t, 1 + 30 + 10 + 100 + 8u);
+  EXPECT_EQ(h.l2().cache_model().stats().reads, 1u);
+}
+
+TEST(Hierarchy, WarmTlbDropsPenalty) {
+  MemoryHierarchy h(small_config());
+  h.load(0, 0x3000);
+  const Cycle t = h.load(1000, 0x3040);  // same page, different L1 line
+  EXPECT_EQ(t, 1000 + 1 + 10 + 100 + 8u);
+}
+
+TEST(Hierarchy, FetchFillsL1I) {
+  MemoryHierarchy h(small_config());
+  const Addr pc = 0x400000;
+  h.fetch(0, pc);
+  EXPECT_EQ(h.l1i().stats().misses(), 1u);
+  const Cycle t = h.fetch(500, pc + 16);  // same 32B block
+  EXPECT_EQ(t, 501u);
+  EXPECT_EQ(h.l1i().stats().read_hits, 1u);
+}
+
+TEST(Hierarchy, StoresNeverDirtyL1) {
+  MemoryHierarchy h(small_config());
+  h.load(0, 0x5000);  // bring into L1D
+  EXPECT_TRUE(h.store(10, 0x5000, 0xBEEF));
+  EXPECT_EQ(h.l1d().dirty_count(), 0u);  // write-through
+  // The stored value landed in the L1D copy.
+  const auto pr = h.l1d().probe(0x5000);
+  ASSERT_TRUE(pr.hit);
+  EXPECT_EQ(h.l1d().data(pr.set, pr.way)[0], 0xBEEFu);
+}
+
+TEST(Hierarchy, StoreMissDoesNotAllocateL1) {
+  MemoryHierarchy h(small_config());
+  EXPECT_TRUE(h.store(0, 0x6000, 1));
+  EXPECT_FALSE(h.l1d().probe(0x6000).hit);  // write-no-allocate
+}
+
+TEST(Hierarchy, DrainAfterResidencyMakesL2LineDirty) {
+  auto cfg = small_config();
+  cfg.wb_min_residency = 16;
+  MemoryHierarchy h(cfg);
+  EXPECT_TRUE(h.store(0, 0x7000, 0x42));
+  h.tick(1);
+  EXPECT_FALSE(h.l2().cache_model().probe(0x7000).hit);  // not yet drained
+  for (Cycle t = 2; t < 40; ++t) h.tick(t);
+  const auto pr = h.l2().cache_model().probe(0x7000);
+  ASSERT_TRUE(pr.hit);
+  EXPECT_TRUE(h.l2().cache_model().meta(pr.set, pr.way).dirty);
+  EXPECT_EQ(h.l2().cache_model().data(pr.set, pr.way)[0], 0x42u);
+}
+
+TEST(Hierarchy, WatermarkForcesEarlyDrain) {
+  auto cfg = small_config();
+  cfg.wb_min_residency = 1'000'000;  // residency alone would never drain
+  cfg.wb_high_watermark = 2;
+  MemoryHierarchy h(cfg);
+  h.store(0, 0x0, 1);
+  h.store(0, 0x40, 2);
+  h.store(0, 0x80, 3);  // occupancy 3 > watermark 2
+  h.tick(1);
+  EXPECT_LE(h.write_buffer().size(), 2u);
+}
+
+TEST(Hierarchy, CoalescingWindowMergesStores) {
+  auto cfg = small_config();
+  cfg.wb_min_residency = 100;
+  MemoryHierarchy h(cfg);
+  h.store(0, 0x8000, 1);
+  h.store(5, 0x8008, 2);   // same line: coalesces
+  h.store(9, 0x8038, 3);
+  EXPECT_EQ(h.write_buffer().size(), 1u);
+  EXPECT_EQ(h.write_buffer().stats().coalesced, 2u);
+  for (Cycle t = 10; t < 130; ++t) h.tick(t);
+  // One L2 write carrying all three words.
+  EXPECT_EQ(h.l2().cache_model().stats().writes, 1u);
+  const auto pr = h.l2().cache_model().probe(0x8000);
+  ASSERT_TRUE(pr.hit);
+  const auto data = h.l2().cache_model().data(pr.set, pr.way);
+  EXPECT_EQ(data[0], 1u);
+  EXPECT_EQ(data[1], 2u);
+  EXPECT_EQ(data[7], 3u);
+}
+
+TEST(Hierarchy, FullBufferRejectsUntilDrained) {
+  auto cfg = small_config();
+  cfg.write_buffer_entries = 2;
+  cfg.wb_min_residency = 50;
+  MemoryHierarchy h(cfg);
+  EXPECT_TRUE(h.store(0, 0x0, 1));
+  EXPECT_TRUE(h.store(0, 0x40, 2));
+  EXPECT_FALSE(h.store(0, 0x80, 3));  // full, distinct line
+  EXPECT_TRUE(h.store(0, 0x48, 4));   // coalesces even when full
+  for (Cycle t = 1; t < 200; ++t) h.tick(t);
+  EXPECT_TRUE(h.store(200, 0x80, 3));
+}
+
+TEST(Hierarchy, FlushDrainsEverything) {
+  MemoryHierarchy h(small_config());
+  for (unsigned i = 0; i < 5; ++i) h.store(0, 0x9000 + i * 64, i);
+  h.flush_write_buffer(10);
+  EXPECT_TRUE(h.write_buffer().empty());
+  EXPECT_EQ(h.l2().cache_model().stats().writes, 5u);
+}
+
+TEST(Hierarchy, StatsResetPreservesCacheContents) {
+  MemoryHierarchy h(small_config());
+  h.load(0, 0xA000);
+  h.store(1, 0xA000, 7);
+  h.flush_write_buffer(2);
+  h.reset_stats(100);
+  EXPECT_EQ(h.l1d().stats().accesses(), 0u);
+  EXPECT_EQ(h.l2().wb_total(), 0u);
+  EXPECT_TRUE(h.l1d().probe(0xA000).hit);  // contents intact
+}
+
+}  // namespace
+}  // namespace aeep::sim

@@ -1,0 +1,117 @@
+// Tests for the memory substrate: sparse backing store semantics and the
+// split-transaction bus timing (queuing, posted writes, latency math).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/bus.hpp"
+#include "mem/memory_store.hpp"
+
+namespace aeep::mem {
+namespace {
+
+TEST(MemoryStore, PristineContentIsDeterministic) {
+  MemoryStore a, b;
+  for (Addr addr = 0; addr < 1024; addr += 8) {
+    EXPECT_EQ(a.read_word(addr), b.read_word(addr));
+    EXPECT_EQ(a.read_word(addr), MemoryStore::pristine_word(addr));
+  }
+}
+
+TEST(MemoryStore, PristineContentIsWellMixed) {
+  unsigned distinct = 0;
+  u64 prev = MemoryStore::pristine_word(0);
+  for (Addr addr = 8; addr < 8 * 100; addr += 8) {
+    const u64 w = MemoryStore::pristine_word(addr);
+    if (w != prev) ++distinct;
+    prev = w;
+  }
+  EXPECT_EQ(distinct, 99u);
+}
+
+TEST(MemoryStore, WritesPersist) {
+  MemoryStore m;
+  m.write_word(0x100, 0xABCD);
+  EXPECT_EQ(m.read_word(0x100), 0xABCDu);
+  EXPECT_EQ(m.dirty_words(), 1u);
+  // Neighbouring words stay pristine.
+  EXPECT_EQ(m.read_word(0x108), MemoryStore::pristine_word(0x108));
+}
+
+TEST(MemoryStore, LineRoundTrip) {
+  MemoryStore m;
+  std::vector<u64> in{1, 2, 3, 4, 5, 6, 7, 8};
+  m.write_line(0x1000, in);
+  std::vector<u64> out(8);
+  m.read_line(0x1000, out);
+  EXPECT_EQ(in, out);
+}
+
+TEST(Bus, ReadLatencyIsAccessPlusTransfer) {
+  SplitTransactionBus bus({8, 100});
+  // 64B line over an 8B bus = 8 beats; completes at start+100+8.
+  EXPECT_EQ(bus.read(0, 0x0, 64), 108u);
+  EXPECT_EQ(bus.stats().reads, 1u);
+  EXPECT_EQ(bus.stats().bytes_read, 64u);
+  EXPECT_EQ(bus.stats().busy_cycles, 8u);
+}
+
+TEST(Bus, BackToBackReadsQueue) {
+  SplitTransactionBus bus({8, 100});
+  const Cycle first = bus.read(0, 0x0, 64);
+  // Second read at cycle 0 must wait for the 8 busy beats of the first.
+  const Cycle second = bus.read(0, 0x40, 64);
+  EXPECT_EQ(first, 108u);
+  EXPECT_EQ(second, 8 + 100 + 8u);
+  EXPECT_EQ(bus.stats().queue_delay_cycles, 8u);
+}
+
+TEST(Bus, PostedWritesDelayLaterReads) {
+  SplitTransactionBus bus({8, 100});
+  bus.write(0, 0x0, 64);  // occupies beats 0..7
+  const Cycle read_done = bus.read(0, 0x40, 64);
+  EXPECT_EQ(read_done, 8 + 100 + 8u);
+  EXPECT_EQ(bus.stats().writes, 1u);
+  EXPECT_EQ(bus.stats().bytes_written, 64u);
+}
+
+TEST(Bus, IdleBusDoesNotQueue) {
+  SplitTransactionBus bus({8, 100});
+  bus.read(0, 0x0, 64);
+  // By cycle 50 the data beats (0..7) are long done.
+  const Cycle second = bus.read(50, 0x40, 64);
+  EXPECT_EQ(second, 50 + 100 + 8u);
+  EXPECT_EQ(bus.stats().queue_delay_cycles, 0u);
+}
+
+TEST(Bus, PartialLineTransfers) {
+  SplitTransactionBus bus({8, 100});
+  EXPECT_EQ(bus.read(0, 0x0, 8), 101u);   // 1 beat
+  EXPECT_EQ(bus.read(200, 0x0, 32), 304u); // 4 beats
+}
+
+TEST(Bus, WiderBusFewerBeats) {
+  SplitTransactionBus bus({16, 100});
+  EXPECT_EQ(bus.read(0, 0x0, 64), 104u);  // 4 beats
+}
+
+TEST(Bus, NextFreeReflectsOccupancy) {
+  SplitTransactionBus bus({8, 100});
+  EXPECT_EQ(bus.next_free(5), 5u);
+  bus.write(5, 0x0, 64);
+  EXPECT_EQ(bus.next_free(5), 13u);
+  EXPECT_EQ(bus.next_free(20), 20u);
+}
+
+TEST(Bus, StatsReset) {
+  SplitTransactionBus bus({8, 100});
+  bus.read(0, 0, 64);
+  bus.write(0, 0, 64);
+  bus.reset_stats();
+  EXPECT_EQ(bus.stats().reads, 0u);
+  EXPECT_EQ(bus.stats().writes, 0u);
+  EXPECT_EQ(bus.stats().busy_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace aeep::mem

@@ -1,0 +1,163 @@
+// Tests for the background scrubber and the trace record/replay machinery.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/bitops.hpp"
+#include "mem/bus.hpp"
+#include "mem/memory_store.hpp"
+#include "protect/scrubber.hpp"
+#include "workload/generator.hpp"
+#include "workload/profile.hpp"
+#include "workload/trace.hpp"
+
+namespace aeep::protect {
+namespace {
+
+class ScrubberTest : public ::testing::Test {
+ protected:
+  ScrubberTest() {
+    L2Config cfg;
+    cfg.geometry = cache::CacheGeometry{4096, 4, 64};  // 16 sets
+    cfg.scheme = SchemeKind::kNonUniform;
+    cfg.maintain_codes = true;
+    l2_ = std::make_unique<ProtectedL2>(cfg, bus_, memory_);
+  }
+
+  std::vector<u64> line_of(u64 v) { return std::vector<u64>(8, v); }
+
+  mem::SplitTransactionBus bus_{{8, 100}};
+  mem::MemoryStore memory_;
+  std::unique_ptr<ProtectedL2> l2_;
+};
+
+TEST_F(ScrubberTest, RepairsLatentSingleInDirtyLine) {
+  l2_->write(0, 0x0, ~u64{0}, line_of(0x77));
+  auto data = l2_->cache_model().data(0, l2_->cache_model().probe(0x0).way);
+  data[3] = flip_bit(data[3], 21);  // latent strike
+
+  Scrubber scrubber(*l2_, 1600);
+  for (Cycle t = 1; t <= 1700; ++t) scrubber.tick(t);
+  EXPECT_GE(scrubber.stats().lines_scrubbed, 1u);
+  EXPECT_EQ(scrubber.stats().words_corrected, 1u);
+  EXPECT_EQ(data[3], 0x77u);  // repaired in place
+  EXPECT_EQ(scrubber.stats().uncorrectable, 0u);
+}
+
+TEST_F(ScrubberTest, RefetchesCleanLine) {
+  l2_->read(0, 0x4000);
+  const auto pr = l2_->cache_model().probe(0x4000);
+  auto data = l2_->cache_model().data(pr.set, pr.way);
+  data[0] = flip_bit(data[0], 5);
+
+  Scrubber scrubber(*l2_, 16);  // one set per cycle
+  scrubber.scrub_all(0);
+  EXPECT_EQ(scrubber.stats().lines_refetched, 1u);
+  EXPECT_EQ(data[0], memory_.read_word(0x4000));
+}
+
+TEST_F(ScrubberTest, PreventsDoubleAccumulation) {
+  // Strike the same word twice with a scrub in between: both repaired.
+  // Without the scrub, the pair would be a DUE.
+  l2_->write(0, 0x0, ~u64{0}, line_of(0xAB));
+  const auto pr = l2_->cache_model().probe(0x0);
+  auto data = l2_->cache_model().data(pr.set, pr.way);
+
+  Scrubber scrubber(*l2_, 16);
+  data[2] = flip_bit(data[2], 7);
+  scrubber.scrub_all(0);
+  data[2] = flip_bit(data[2], 40);
+  scrubber.scrub_all(0);
+  EXPECT_EQ(scrubber.stats().words_corrected, 2u);
+  EXPECT_EQ(scrubber.stats().uncorrectable, 0u);
+  EXPECT_EQ(data[2], 0xABu);
+
+  // Control: two strikes without an intervening scrub are unrecoverable.
+  data[2] = flip_bit(flip_bit(data[2], 7), 40);
+  scrubber.scrub_all(0);
+  EXPECT_EQ(scrubber.stats().uncorrectable, 1u);
+}
+
+TEST_F(ScrubberTest, CountsScrubbedLines) {
+  for (unsigned i = 0; i < 8; ++i)
+    l2_->read(0, 0x10000 + static_cast<Addr>(i) * 64);
+  Scrubber scrubber(*l2_, 16);
+  scrubber.scrub_all(0);
+  EXPECT_EQ(scrubber.stats().lines_scrubbed, 8u);
+}
+
+}  // namespace
+}  // namespace aeep::protect
+
+namespace aeep::workload {
+namespace {
+
+std::string temp_trace_path() {
+  return ::testing::TempDir() + "/aeep_trace_test.bin";
+}
+
+TEST(Trace, RoundTripsOps) {
+  const std::string path = temp_trace_path();
+  SyntheticWorkload gen(profile_by_name("gzip"), 5);
+  record_trace(gen, path, 5000);
+
+  SyntheticWorkload gen2(profile_by_name("gzip"), 5);  // same seed
+  TraceReplaySource replay(path);
+  ASSERT_EQ(replay.size(), 5000u);
+  for (int i = 0; i < 5000; ++i) {
+    const cpu::MicroOp a = gen2.next();
+    const cpu::MicroOp b = replay.next();
+    ASSERT_EQ(a.pc, b.pc) << i;
+    ASSERT_EQ(static_cast<int>(a.cls), static_cast<int>(b.cls)) << i;
+    ASSERT_EQ(a.mem_addr, b.mem_addr) << i;
+    ASSERT_EQ(a.store_value, b.store_value) << i;
+    ASSERT_EQ(a.branch_taken, b.branch_taken) << i;
+    ASSERT_EQ(a.branch_target, b.branch_target) << i;
+    ASSERT_EQ(a.dep1, b.dep1) << i;
+    ASSERT_EQ(a.dep2, b.dep2) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, WrapsAroundWhenExhausted) {
+  const std::string path = temp_trace_path();
+  SyntheticWorkload gen(profile_by_name("mcf"), 9);
+  record_trace(gen, path, 100);
+  TraceReplaySource replay(path);
+  const cpu::MicroOp first = replay.next();
+  for (int i = 1; i < 100; ++i) replay.next();
+  const cpu::MicroOp wrapped = replay.next();
+  EXPECT_EQ(replay.wraps(), 1u);
+  EXPECT_EQ(first.pc, wrapped.pc);
+  EXPECT_EQ(first.mem_addr, wrapped.mem_addr);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, RejectsMissingAndCorruptFiles) {
+  EXPECT_THROW(TraceReplaySource("/nonexistent/trace.bin"),
+               std::runtime_error);
+  const std::string path = temp_trace_path();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const char junk[] = "not a trace";
+  std::fwrite(junk, 1, sizeof junk, f);
+  std::fclose(f);
+  EXPECT_THROW((void)TraceReplaySource{path}, std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, WriterCountsAppends) {
+  const std::string path = temp_trace_path();
+  {
+    TraceWriter w(path);
+    cpu::MicroOp op;
+    for (int i = 0; i < 42; ++i) w.append(op);
+    EXPECT_EQ(w.count(), 42u);
+  }
+  TraceReplaySource replay(path);
+  EXPECT_EQ(replay.size(), 42u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace aeep::workload

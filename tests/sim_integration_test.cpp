@@ -1,0 +1,186 @@
+// Integration tests: the full system (core + L1s + write buffer + L2 +
+// bus + workload) running end-to-end, checking cross-module invariants the
+// paper's evaluation relies on.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/system.hpp"
+
+namespace aeep::sim {
+namespace {
+
+ExperimentOptions quick(protect::SchemeKind scheme, Cycle interval = 0) {
+  ExperimentOptions eo;
+  eo.scheme = scheme;
+  eo.cleaning_interval = interval;
+  eo.instructions = 150'000;
+  eo.warmup_instructions = 50'000;
+  eo.seed = 11;
+  return eo;
+}
+
+TEST(Integration, RunProducesSaneMetrics) {
+  const RunResult r =
+      run_benchmark("gzip", quick(protect::SchemeKind::kUniformEcc));
+  EXPECT_EQ(r.core.committed, 150'000u);
+  EXPECT_GT(r.core.cycles, 0u);
+  EXPECT_GT(r.ipc(), 0.05);
+  EXPECT_LT(r.ipc(), 4.0);
+  EXPECT_GT(r.core.loads, 0u);
+  EXPECT_GT(r.core.stores, 0u);
+  EXPECT_GT(r.core.branches, 0u);
+  EXPECT_GE(r.avg_dirty_fraction, 0.0);
+  EXPECT_LE(r.avg_dirty_fraction, 1.0);
+  EXPECT_GT(r.l1d.accesses(), 0u);
+  EXPECT_GT(r.l2.accesses(), 0u);
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  const RunResult a =
+      run_benchmark("vpr", quick(protect::SchemeKind::kSharedEccArray, 1 << 18));
+  const RunResult b =
+      run_benchmark("vpr", quick(protect::SchemeKind::kSharedEccArray, 1 << 18));
+  EXPECT_EQ(a.core.cycles, b.core.cycles);
+  EXPECT_EQ(a.wb_total(), b.wb_total());
+  EXPECT_DOUBLE_EQ(a.avg_dirty_fraction, b.avg_dirty_fraction);
+}
+
+TEST(Integration, SchemeDoesNotChangeTimingWithoutCleaning) {
+  // Uniform ECC and unbounded non-uniform differ only in stored check bits;
+  // with cleaning off they must produce identical timing and dirty stats.
+  const RunResult u =
+      run_benchmark("gcc", quick(protect::SchemeKind::kUniformEcc));
+  const RunResult n =
+      run_benchmark("gcc", quick(protect::SchemeKind::kNonUniform));
+  EXPECT_EQ(u.core.cycles, n.core.cycles);
+  EXPECT_DOUBLE_EQ(u.avg_dirty_fraction, n.avg_dirty_fraction);
+  EXPECT_EQ(u.wb_total(), n.wb_total());
+}
+
+TEST(Integration, CleaningReducesDirtyLines) {
+  const RunResult org =
+      run_benchmark("mesa", quick(protect::SchemeKind::kNonUniform));
+  const RunResult cleaned =
+      run_benchmark("mesa", quick(protect::SchemeKind::kNonUniform, 1 << 16));
+  EXPECT_LT(cleaned.avg_dirty_fraction, org.avg_dirty_fraction * 0.8);
+  EXPECT_GT(cleaned.wb_cleaning, 0u);
+  EXPECT_EQ(org.wb_cleaning, 0u);
+}
+
+TEST(Integration, SharedEccArrayCapsDirtyAtOnePerSet) {
+  auto eo = quick(protect::SchemeKind::kSharedEccArray);
+  // mcf sweeps new lines fastest (2 passes/region), so 400K micro-ops give
+  // write coverage beyond the 256KB set-aliasing distance.
+  eo.instructions = 400'000;
+  const RunResult r = run_benchmark("mcf", eo);
+  // Peak dirty lines can never exceed the number of sets (4096).
+  EXPECT_LE(r.peak_dirty_lines, 4096u);
+  EXPECT_GT(r.wb_ecc, 0u);  // wide write coverage must hit entry evictions
+}
+
+TEST(Integration, SharedEccArrayMoreEntriesFewerEccWb) {
+  auto eo1 = quick(protect::SchemeKind::kSharedEccArray);
+  eo1.instructions = 400'000;
+  eo1.ecc_entries_per_set = 1;
+  auto eo4 = eo1;
+  eo4.ecc_entries_per_set = 4;
+  const RunResult k1 = run_benchmark("mcf", eo1);
+  const RunResult k4 = run_benchmark("mcf", eo4);
+  EXPECT_GT(k1.wb_ecc, k4.wb_ecc);
+  EXPECT_LE(k4.peak_dirty_lines, 4u * 4096u);
+}
+
+TEST(Integration, WriteBufferCoalescesAndDrains) {
+  const RunResult r =
+      run_benchmark("swim", quick(protect::SchemeKind::kUniformEcc));
+  EXPECT_GT(r.wbuf.stores, 0u);
+  EXPECT_GT(r.wbuf.drains, 0u);
+  // Every non-coalesced store becomes one drain; entries left over from the
+  // warm-up phase (stats reset) or still buffered at the end shift the
+  // balance by at most the buffer capacity either way.
+  EXPECT_LE(r.wbuf.drains, r.wbuf.stores - r.wbuf.coalesced + 16);
+  EXPECT_GE(r.wbuf.drains + 16, r.wbuf.stores - r.wbuf.coalesced);
+}
+
+TEST(Integration, WritebacksReachTheBus) {
+  const RunResult r =
+      run_benchmark("equake", quick(protect::SchemeKind::kNonUniform, 1 << 16));
+  EXPECT_EQ(r.bus.writes, r.wb_total());
+  EXPECT_EQ(r.bus.bytes_written, r.wb_total() * 64);
+}
+
+TEST(Integration, L2SeesOnlyMissesAndDrains) {
+  const RunResult r =
+      run_benchmark("art", quick(protect::SchemeKind::kUniformEcc));
+  // L2 reads = L1I misses + L1D load misses.
+  EXPECT_EQ(r.l2.reads,
+            (r.l1i.reads - r.l1i.read_hits) + (r.l1d.reads - r.l1d.read_hits));
+  // L2 writes = write-buffer drains.
+  EXPECT_EQ(r.l2.writes, r.wbuf.drains);
+}
+
+TEST(Integration, DataIntegrityEndToEnd) {
+  // With real check bits maintained and no fault injection, every valid L2
+  // line must decode clean, and every *clean* line must equal memory.
+  SystemConfig cfg;
+  cfg.benchmark = "gzip";
+  cfg.seed = 13;
+  cfg.warmup_instructions = 0;
+  cfg.instructions = 120'000;
+  cfg.hierarchy.l2.scheme = protect::SchemeKind::kSharedEccArray;
+  cfg.hierarchy.l2.cleaning_interval = 1 << 16;
+  cfg.hierarchy.l2.maintain_codes = true;
+  System system(cfg);
+  system.run();
+  system.hierarchy().flush_write_buffer(system.core().now());
+
+  auto& l2 = system.hierarchy().l2();
+  auto& cache = l2.cache_model();
+  auto& memory = system.hierarchy().memory();
+  const auto& geom = cfg.hierarchy.l2.geometry;
+  u64 checked = 0, clean_checked = 0;
+  for (u64 s = 0; s < geom.num_sets(); ++s) {
+    for (unsigned w = 0; w < geom.ways; ++w) {
+      const auto& m = cache.meta(s, w);
+      if (!m.valid) continue;
+      const auto rc = l2.scheme().check_read(s, w, memory);
+      ASSERT_EQ(rc.outcome, protect::ReadOutcome::kOk)
+          << "set " << s << " way " << w;
+      ++checked;
+      if (!m.dirty) {
+        const auto data = cache.data(s, w);
+        std::vector<u64> mem_line(data.size());
+        memory.read_line(cache.line_addr(s, w), mem_line);
+        ASSERT_TRUE(std::equal(data.begin(), data.end(), mem_line.begin()))
+            << "clean line diverged from memory at set " << s;
+        ++clean_checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 1000u);
+  EXPECT_GT(clean_checked, 100u);
+}
+
+TEST(Integration, ExperimentHelpers) {
+  EXPECT_EQ(all_benchmarks().size(), 14u);
+  EXPECT_EQ(fp_benchmarks().size(), 7u);
+  EXPECT_EQ(int_benchmarks().size(), 7u);
+  EXPECT_NE(table1_text().find("64-entry RUU"), std::string::npos);
+  const auto cfg = make_system_config("mcf", quick(protect::SchemeKind::kNonUniform));
+  EXPECT_EQ(cfg.benchmark, "mcf");
+  EXPECT_EQ(cfg.hierarchy.l2.scheme, protect::SchemeKind::kNonUniform);
+}
+
+TEST(Integration, SuiteRunnerPreservesOrder) {
+  auto eo = quick(protect::SchemeKind::kUniformEcc);
+  eo.instructions = 30'000;
+  eo.warmup_instructions = 0;
+  const auto rs = run_suite({"gzip", "mcf"}, eo);
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs[0].benchmark, "gzip");
+  EXPECT_EQ(rs[1].benchmark, "mcf");
+  EXPECT_FALSE(rs[0].floating_point);
+}
+
+}  // namespace
+}  // namespace aeep::sim

@@ -1,0 +1,167 @@
+// Tests for the width-parameterised SECDED codec across the granularities
+// the ablation bench studies, including exhaustive single-bit sweeps and
+// sampled double-bit detection at every width.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "ecc/secded.hpp"
+#include "ecc/wide_secded.hpp"
+
+namespace aeep::ecc {
+namespace {
+
+std::vector<u64> random_data(unsigned data_bits, Xorshift64Star& rng) {
+  std::vector<u64> data((data_bits + 63) / 64);
+  for (auto& w : data) w = rng.next();
+  // Mask unused high bits for clean comparisons.
+  const unsigned rem = data_bits % 64;
+  if (rem) data.back() &= (u64{1} << rem) - 1;
+  return data;
+}
+
+void flip(std::vector<u64>& data, unsigned bit) {
+  data[bit / 64] ^= u64{1} << (bit % 64);
+}
+
+TEST(WideSecded, CheckBitCounts) {
+  // r is the smallest with 2^r >= k + r + 1; +1 for the overall bit.
+  EXPECT_EQ(WideSecdedCodec::check_bits_for(8), 5u);    // r=4
+  EXPECT_EQ(WideSecdedCodec::check_bits_for(32), 7u);   // r=6
+  EXPECT_EQ(WideSecdedCodec::check_bits_for(64), 8u);   // r=7: the paper's 12.5%
+  EXPECT_EQ(WideSecdedCodec::check_bits_for(128), 9u);
+  EXPECT_EQ(WideSecdedCodec::check_bits_for(256), 10u);
+  EXPECT_EQ(WideSecdedCodec::check_bits_for(512), 11u);
+}
+
+TEST(WideSecded, OverheadShrinksWithWidth) {
+  double prev = 1.0;
+  for (unsigned w : {8u, 32u, 64u, 128u, 256u, 512u}) {
+    const WideSecdedCodec codec(w);
+    EXPECT_LT(codec.overhead(), prev);
+    prev = codec.overhead();
+  }
+  EXPECT_NEAR(WideSecdedCodec(64).overhead(), 0.125, 1e-9);  // 12.5%
+}
+
+TEST(WideSecded, RejectsOutOfRangeWidths) {
+  EXPECT_THROW(WideSecdedCodec(4), std::invalid_argument);
+  EXPECT_THROW(WideSecdedCodec(5000), std::invalid_argument);
+}
+
+class WideSecdedWidths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WideSecdedWidths, CleanDecodesOk) {
+  const unsigned bits = GetParam();
+  const WideSecdedCodec codec(bits);
+  Xorshift64Star rng(bits * 7 + 1);
+  for (int t = 0; t < 50; ++t) {
+    auto data = random_data(bits, rng);
+    u64 check = codec.encode(data);
+    const auto golden = data;
+    const auto r = codec.decode(data, check);
+    EXPECT_EQ(r.status, DecodeStatus::kOk);
+    EXPECT_EQ(data, golden);
+  }
+}
+
+TEST_P(WideSecdedWidths, CorrectsEverySingleDataBit) {
+  const unsigned bits = GetParam();
+  const WideSecdedCodec codec(bits);
+  Xorshift64Star rng(bits * 11 + 3);
+  auto golden = random_data(bits, rng);
+  const u64 check0 = codec.encode(golden);
+  for (unsigned b = 0; b < bits; ++b) {
+    auto data = golden;
+    u64 check = check0;
+    flip(data, b);
+    const auto r = codec.decode(data, check);
+    ASSERT_EQ(r.status, DecodeStatus::kCorrectedSingle) << "bit " << b;
+    EXPECT_EQ(r.corrected_bit, b);
+    EXPECT_EQ(data, golden);
+    EXPECT_EQ(check, check0);
+  }
+}
+
+TEST_P(WideSecdedWidths, CorrectsEverySingleCheckBit) {
+  const unsigned bits = GetParam();
+  const WideSecdedCodec codec(bits);
+  Xorshift64Star rng(bits * 13 + 5);
+  auto golden = random_data(bits, rng);
+  const u64 check0 = codec.encode(golden);
+  for (unsigned c = 0; c < codec.check_bits(); ++c) {
+    auto data = golden;
+    u64 check = check0 ^ (u64{1} << c);
+    const auto r = codec.decode(data, check);
+    ASSERT_EQ(r.status, DecodeStatus::kCorrectedSingle) << "check bit " << c;
+    EXPECT_EQ(r.corrected_bit, bits + c);
+    EXPECT_EQ(check, check0);
+  }
+}
+
+TEST_P(WideSecdedWidths, DetectsSampledDoubleBits) {
+  const unsigned bits = GetParam();
+  const WideSecdedCodec codec(bits);
+  Xorshift64Star rng(bits * 17 + 7);
+  auto golden = random_data(bits, rng);
+  const u64 check0 = codec.encode(golden);
+  const int samples = bits <= 64 ? 500 : 200;
+  for (int t = 0; t < samples; ++t) {
+    const unsigned b1 = static_cast<unsigned>(rng.next_below(bits));
+    unsigned b2 = b1;
+    while (b2 == b1) b2 = static_cast<unsigned>(rng.next_below(bits));
+    auto data = golden;
+    u64 check = check0;
+    flip(data, b1);
+    flip(data, b2);
+    const auto r = codec.decode(data, check);
+    ASSERT_EQ(r.status, DecodeStatus::kDetectedDouble)
+        << "bits " << b1 << "," << b2;
+  }
+}
+
+TEST_P(WideSecdedWidths, DetectsDataPlusCheckDoubles) {
+  const unsigned bits = GetParam();
+  const WideSecdedCodec codec(bits);
+  Xorshift64Star rng(bits * 19 + 9);
+  auto golden = random_data(bits, rng);
+  const u64 check0 = codec.encode(golden);
+  for (int t = 0; t < 100; ++t) {
+    const unsigned b = static_cast<unsigned>(rng.next_below(bits));
+    const unsigned c = static_cast<unsigned>(rng.next_below(codec.check_bits()));
+    auto data = golden;
+    u64 check = check0 ^ (u64{1} << c);
+    flip(data, b);
+    EXPECT_EQ(codec.decode(data, check).status, DecodeStatus::kDetectedDouble);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WideSecdedWidths,
+                         ::testing::Values(8u, 16u, 32u, 64u, 100u, 128u,
+                                           247u, 256u, 512u));
+
+TEST(WideSecded, MatchesFixedSecdedAt64) {
+  // The generic codec at 64 bits and the fast fixed codec must agree on
+  // status for the same corruptions (check-bit layouts may differ).
+  const WideSecdedCodec wide(64);
+  const SecdedCodec fixed;
+  Xorshift64Star rng(101);
+  for (int t = 0; t < 200; ++t) {
+    const u64 word = rng.next();
+    std::vector<u64> data{word};
+    u64 wcheck = wide.encode(data);
+    const u64 fcheck = fixed.encode(word);
+    const unsigned b = static_cast<unsigned>(rng.next_below(64));
+    data[0] = flip_bit(word, b);
+    const auto wr = wide.decode(data, wcheck);
+    const auto fr = fixed.decode(flip_bit(word, b), fcheck);
+    EXPECT_EQ(wr.status, fr.status);
+    EXPECT_EQ(data[0], word);
+    EXPECT_EQ(fr.data, word);
+  }
+}
+
+}  // namespace
+}  // namespace aeep::ecc

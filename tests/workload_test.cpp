@@ -1,0 +1,209 @@
+// Tests for the synthetic SPEC2000-like workload generators: profile
+// inventory, determinism, op-mix calibration, address-range discipline,
+// write-sweep generational structure, and loop-branch behaviour.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/generator.hpp"
+#include "workload/profile.hpp"
+
+namespace aeep::workload {
+namespace {
+
+using cpu::MicroOp;
+using cpu::OpClass;
+
+TEST(Profiles, FourteenBenchmarksSevenEach) {
+  const auto& all = spec2000_profiles();
+  EXPECT_EQ(all.size(), 14u);
+  EXPECT_EQ(fp_profiles().size(), 7u);
+  EXPECT_EQ(int_profiles().size(), 7u);
+}
+
+TEST(Profiles, PaperBenchmarksPresent) {
+  // Benchmarks the paper names explicitly in its discussion.
+  for (const char* name :
+       {"applu", "swim", "mgrid", "equake", "mcf", "apsi", "mesa", "gap",
+        "parser"}) {
+    EXPECT_NO_THROW(profile_by_name(name)) << name;
+  }
+  EXPECT_THROW(profile_by_name("quake3"), std::out_of_range);
+}
+
+TEST(Profiles, NamesUniqueAndFieldsSane) {
+  std::set<std::string> names;
+  for (const auto& p : spec2000_profiles()) {
+    EXPECT_TRUE(names.insert(p.name).second) << "duplicate " << p.name;
+    EXPECT_GT(p.load_frac, 0.0);
+    EXPECT_GT(p.store_frac, 0.0);
+    EXPECT_LT(p.load_frac + p.store_frac, 0.7);
+    EXPECT_GE(p.body_uops, 2u);
+    EXPECT_GE(p.data_footprint, p.write_footprint);
+    EXPECT_GE(p.write_footprint, p.region_bytes);
+    EXPECT_GT(p.region_write_passes, 0.0);
+    EXPECT_GT(p.code_footprint, 0u);
+  }
+}
+
+class GeneratorTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GeneratorTest, DeterministicForSameSeed) {
+  SyntheticWorkload a(profile_by_name(GetParam()), 7);
+  SyntheticWorkload b(profile_by_name(GetParam()), 7);
+  for (int i = 0; i < 5000; ++i) {
+    const MicroOp x = a.next(), y = b.next();
+    EXPECT_EQ(x.pc, y.pc);
+    EXPECT_EQ(static_cast<int>(x.cls), static_cast<int>(y.cls));
+    EXPECT_EQ(x.mem_addr, y.mem_addr);
+    EXPECT_EQ(x.branch_taken, y.branch_taken);
+  }
+}
+
+TEST_P(GeneratorTest, SeedsChangeTheStream) {
+  SyntheticWorkload a(profile_by_name(GetParam()), 1);
+  SyntheticWorkload b(profile_by_name(GetParam()), 2);
+  unsigned diff = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const MicroOp x = a.next(), y = b.next();
+    if (x.mem_addr != y.mem_addr || x.cls != y.cls) ++diff;
+  }
+  EXPECT_GT(diff, 100u);
+}
+
+TEST_P(GeneratorTest, OpMixMatchesProfile) {
+  const auto& p = profile_by_name(GetParam());
+  SyntheticWorkload w(p, 3);
+  const int n = 200000;
+  std::map<OpClass, int> counts;
+  for (int i = 0; i < n; ++i) ++counts[w.next().cls];
+  const double branch_frac =
+      static_cast<double>(counts[OpClass::kBranch]) / n;
+  // One branch per body (body length varies +/-50% around the mean).
+  EXPECT_NEAR(branch_frac, 1.0 / p.body_uops, 0.35 / p.body_uops);
+  // Loads/stores are rolled on non-branch slots.
+  const double non_branch = 1.0 - branch_frac;
+  EXPECT_NEAR(static_cast<double>(counts[OpClass::kLoad]) / n,
+              p.load_frac * non_branch, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[OpClass::kStore]) / n,
+              p.store_frac * non_branch, 0.02);
+}
+
+TEST_P(GeneratorTest, AddressesStayInFootprints) {
+  const auto& p = profile_by_name(GetParam());
+  SyntheticWorkload w(p, 4);
+  for (int i = 0; i < 100000; ++i) {
+    const MicroOp op = w.next();
+    if (op.cls == OpClass::kLoad || op.cls == OpClass::kStore) {
+      EXPECT_GE(op.mem_addr, SyntheticWorkload::kDataBase);
+      EXPECT_LT(op.mem_addr, SyntheticWorkload::kDataBase + p.data_footprint);
+      EXPECT_EQ(op.mem_addr % 8, 0u);
+      if (op.cls == OpClass::kStore) {
+        EXPECT_LT(op.mem_addr,
+                  SyntheticWorkload::kDataBase + p.write_footprint);
+      }
+    } else {
+      EXPECT_GE(op.pc, SyntheticWorkload::kCodeBase);
+      // Loop bodies may overrun the footprint boundary by up to one body
+      // before the wrap check at the branch.
+      EXPECT_LT(op.pc, SyntheticWorkload::kCodeBase + p.code_footprint +
+                           4 * (2 * p.body_uops));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, GeneratorTest,
+                         ::testing::Values("applu", "swim", "mesa", "mcf",
+                                           "gzip", "parser", "art"));
+
+TEST(Generator, BranchesFormLoops) {
+  SyntheticWorkload w(profile_by_name("gzip"), 5);
+  // Track per-PC behaviour: a branch site should be taken several times
+  // with a constant target, then fall through.
+  std::map<Addr, std::pair<unsigned, unsigned>> taken_not;  // pc -> (t, nt)
+  std::map<Addr, std::set<Addr>> targets;
+  for (int i = 0; i < 300000; ++i) {
+    const MicroOp op = w.next();
+    if (op.cls != OpClass::kBranch) continue;
+    auto& [t, nt] = taken_not[op.pc];
+    op.branch_taken ? ++t : ++nt;
+    targets[op.pc].insert(op.branch_target);
+  }
+  ASSERT_GT(taken_not.size(), 5u);
+  u64 total_taken = 0, total_not = 0;
+  for (const auto& [pc, tn] : taken_not) {
+    total_taken += tn.first;
+    total_not += tn.second;
+    EXPECT_EQ(targets[pc].size(), 1u) << "unstable target at " << pc;
+  }
+  // Loop-dominated: mostly taken (back edges), with regular exits.
+  EXPECT_GT(total_taken, total_not * 2);
+  EXPECT_GT(total_not, 0u);
+}
+
+TEST(Generator, StoreSweepCoversWriteFootprintLines) {
+  const auto& p = profile_by_name("swim");
+  SyntheticWorkload w(p, 6);
+  std::set<Addr> lines;
+  // Run long enough for the sweep (with revisits) to cover everything.
+  const u64 need_stores = static_cast<u64>(
+      static_cast<double>(p.write_footprint / 64) * p.region_write_passes * 8);
+  u64 seen_stores = 0;
+  while (seen_stores < need_stores) {
+    const MicroOp op = w.next();
+    if (op.cls == OpClass::kStore) {
+      lines.insert(op.mem_addr & ~Addr{63});
+      ++seen_stores;
+    }
+  }
+  const u64 total_lines = p.write_footprint / 64;
+  EXPECT_GT(lines.size(), total_lines * 9 / 10);
+}
+
+TEST(Generator, StoresRevisitLinesWithinActivation) {
+  // region_write_passes > 1 means the same line is stored repeatedly within
+  // one activation — the behaviour that sets written bits.
+  const auto& p = profile_by_name("apsi");
+  SyntheticWorkload w(p, 7);
+  std::map<Addr, unsigned> per_line;
+  for (int i = 0; i < 200000; ++i) {
+    const MicroOp op = w.next();
+    if (op.cls == OpClass::kStore) ++per_line[op.mem_addr & ~Addr{63}];
+  }
+  unsigned multi = 0;
+  for (const auto& [line, n] : per_line)
+    if (n >= 2) ++multi;
+  EXPECT_GT(multi, per_line.size() / 2);
+}
+
+TEST(Generator, DependencyDistancesBounded) {
+  const auto& p = profile_by_name("gcc");
+  SyntheticWorkload w(p, 8);
+  unsigned with_dep = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const MicroOp op = w.next();
+    EXPECT_LE(op.dep1, p.max_dep_dist);
+    EXPECT_LE(op.dep2, p.max_dep_dist);
+    if (op.dep1) ++with_dep;
+  }
+  // dep1_prob of ops carry a first dependency.
+  EXPECT_NEAR(static_cast<double>(with_dep) / 50000, p.dep1_prob, 0.03);
+}
+
+TEST(Generator, PcAdvancesWithinBody) {
+  SyntheticWorkload w(profile_by_name("mcf"), 9);
+  MicroOp prev = w.next();
+  for (int i = 0; i < 1000; ++i) {
+    const MicroOp op = w.next();
+    if (prev.cls != OpClass::kBranch) {
+      EXPECT_EQ(op.pc, prev.pc + 4);
+    } else if (prev.branch_taken) {
+      EXPECT_EQ(op.pc, prev.branch_target);
+    }
+    prev = op;
+  }
+}
+
+}  // namespace
+}  // namespace aeep::workload
