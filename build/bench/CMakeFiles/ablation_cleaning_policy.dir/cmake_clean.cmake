@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cleaning_policy.dir/ablation_cleaning_policy.cpp.o"
+  "CMakeFiles/ablation_cleaning_policy.dir/ablation_cleaning_policy.cpp.o.d"
+  "ablation_cleaning_policy"
+  "ablation_cleaning_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cleaning_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

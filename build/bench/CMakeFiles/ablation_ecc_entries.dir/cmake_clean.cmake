@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ecc_entries.dir/ablation_ecc_entries.cpp.o"
+  "CMakeFiles/ablation_ecc_entries.dir/ablation_ecc_entries.cpp.o.d"
+  "ablation_ecc_entries"
+  "ablation_ecc_entries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ecc_entries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_written_bit.dir/ablation_written_bit.cpp.o"
+  "CMakeFiles/ablation_written_bit.dir/ablation_written_bit.cpp.o.d"
+  "ablation_written_bit"
+  "ablation_written_bit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_written_bit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_overhead.dir/energy_overhead.cpp.o"
+  "CMakeFiles/energy_overhead.dir/energy_overhead.cpp.o.d"
+  "energy_overhead"
+  "energy_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

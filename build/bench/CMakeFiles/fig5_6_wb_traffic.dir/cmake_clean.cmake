@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_6_wb_traffic.dir/fig5_6_wb_traffic.cpp.o"
+  "CMakeFiles/fig5_6_wb_traffic.dir/fig5_6_wb_traffic.cpp.o.d"
+  "fig5_6_wb_traffic"
+  "fig5_6_wb_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_6_wb_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_dirty_full_scheme.dir/fig7_dirty_full_scheme.cpp.o"
+  "CMakeFiles/fig7_dirty_full_scheme.dir/fig7_dirty_full_scheme.cpp.o.d"
+  "fig7_dirty_full_scheme"
+  "fig7_dirty_full_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_dirty_full_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_dirty_full_scheme.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_ipc_loss.dir/perf_ipc_loss.cpp.o"
+  "CMakeFiles/perf_ipc_loss.dir/perf_ipc_loss.cpp.o.d"
+  "perf_ipc_loss"
+  "perf_ipc_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_ipc_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_estimate.dir/reliability_estimate.cpp.o"
+  "CMakeFiles/reliability_estimate.dir/reliability_estimate.cpp.o.d"
+  "reliability_estimate"
+  "reliability_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrubbing_study.dir/scrubbing_study.cpp.o"
+  "CMakeFiles/scrubbing_study.dir/scrubbing_study.cpp.o.d"
+  "scrubbing_study"
+  "scrubbing_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrubbing_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaning_tuner.dir/cleaning_tuner.cpp.o"
+  "CMakeFiles/cleaning_tuner.dir/cleaning_tuner.cpp.o.d"
+  "cleaning_tuner"
+  "cleaning_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaning_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

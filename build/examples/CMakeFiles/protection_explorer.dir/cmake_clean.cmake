@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protection_explorer.dir/protection_explorer.cpp.o"
+  "CMakeFiles/protection_explorer.dir/protection_explorer.cpp.o.d"
+  "protection_explorer"
+  "protection_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protection_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeep_cache.dir/cache.cpp.o"
+  "CMakeFiles/aeep_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/aeep_cache.dir/write_buffer.cpp.o"
+  "CMakeFiles/aeep_cache.dir/write_buffer.cpp.o.d"
+  "libaeep_cache.a"
+  "libaeep_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeep_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

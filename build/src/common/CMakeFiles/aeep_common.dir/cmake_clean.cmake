@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeep_common.dir/cli.cpp.o"
+  "CMakeFiles/aeep_common.dir/cli.cpp.o.d"
+  "CMakeFiles/aeep_common.dir/log.cpp.o"
+  "CMakeFiles/aeep_common.dir/log.cpp.o.d"
+  "CMakeFiles/aeep_common.dir/rng.cpp.o"
+  "CMakeFiles/aeep_common.dir/rng.cpp.o.d"
+  "CMakeFiles/aeep_common.dir/stats.cpp.o"
+  "CMakeFiles/aeep_common.dir/stats.cpp.o.d"
+  "CMakeFiles/aeep_common.dir/table.cpp.o"
+  "CMakeFiles/aeep_common.dir/table.cpp.o.d"
+  "libaeep_common.a"
+  "libaeep_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeep_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

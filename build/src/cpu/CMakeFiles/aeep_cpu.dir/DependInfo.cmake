@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/branch_predictor.cpp" "src/cpu/CMakeFiles/aeep_cpu.dir/branch_predictor.cpp.o" "gcc" "src/cpu/CMakeFiles/aeep_cpu.dir/branch_predictor.cpp.o.d"
+  "/root/repo/src/cpu/core.cpp" "src/cpu/CMakeFiles/aeep_cpu.dir/core.cpp.o" "gcc" "src/cpu/CMakeFiles/aeep_cpu.dir/core.cpp.o.d"
+  "/root/repo/src/cpu/func_units.cpp" "src/cpu/CMakeFiles/aeep_cpu.dir/func_units.cpp.o" "gcc" "src/cpu/CMakeFiles/aeep_cpu.dir/func_units.cpp.o.d"
+  "/root/repo/src/cpu/tlb.cpp" "src/cpu/CMakeFiles/aeep_cpu.dir/tlb.cpp.o" "gcc" "src/cpu/CMakeFiles/aeep_cpu.dir/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aeep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

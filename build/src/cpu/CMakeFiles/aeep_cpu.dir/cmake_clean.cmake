@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeep_cpu.dir/branch_predictor.cpp.o"
+  "CMakeFiles/aeep_cpu.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/aeep_cpu.dir/core.cpp.o"
+  "CMakeFiles/aeep_cpu.dir/core.cpp.o.d"
+  "CMakeFiles/aeep_cpu.dir/func_units.cpp.o"
+  "CMakeFiles/aeep_cpu.dir/func_units.cpp.o.d"
+  "CMakeFiles/aeep_cpu.dir/tlb.cpp.o"
+  "CMakeFiles/aeep_cpu.dir/tlb.cpp.o.d"
+  "libaeep_cpu.a"
+  "libaeep_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeep_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaeep_cpu.a"
+)

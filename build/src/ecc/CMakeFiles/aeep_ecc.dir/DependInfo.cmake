@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/line_codec.cpp" "src/ecc/CMakeFiles/aeep_ecc.dir/line_codec.cpp.o" "gcc" "src/ecc/CMakeFiles/aeep_ecc.dir/line_codec.cpp.o.d"
+  "/root/repo/src/ecc/parity.cpp" "src/ecc/CMakeFiles/aeep_ecc.dir/parity.cpp.o" "gcc" "src/ecc/CMakeFiles/aeep_ecc.dir/parity.cpp.o.d"
+  "/root/repo/src/ecc/secded.cpp" "src/ecc/CMakeFiles/aeep_ecc.dir/secded.cpp.o" "gcc" "src/ecc/CMakeFiles/aeep_ecc.dir/secded.cpp.o.d"
+  "/root/repo/src/ecc/wide_secded.cpp" "src/ecc/CMakeFiles/aeep_ecc.dir/wide_secded.cpp.o" "gcc" "src/ecc/CMakeFiles/aeep_ecc.dir/wide_secded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aeep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

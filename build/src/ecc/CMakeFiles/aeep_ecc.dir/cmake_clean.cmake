@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeep_ecc.dir/line_codec.cpp.o"
+  "CMakeFiles/aeep_ecc.dir/line_codec.cpp.o.d"
+  "CMakeFiles/aeep_ecc.dir/parity.cpp.o"
+  "CMakeFiles/aeep_ecc.dir/parity.cpp.o.d"
+  "CMakeFiles/aeep_ecc.dir/secded.cpp.o"
+  "CMakeFiles/aeep_ecc.dir/secded.cpp.o.d"
+  "CMakeFiles/aeep_ecc.dir/wide_secded.cpp.o"
+  "CMakeFiles/aeep_ecc.dir/wide_secded.cpp.o.d"
+  "libaeep_ecc.a"
+  "libaeep_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeep_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

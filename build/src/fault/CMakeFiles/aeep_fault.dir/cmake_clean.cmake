@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeep_fault.dir/injector.cpp.o"
+  "CMakeFiles/aeep_fault.dir/injector.cpp.o.d"
+  "CMakeFiles/aeep_fault.dir/reliability.cpp.o"
+  "CMakeFiles/aeep_fault.dir/reliability.cpp.o.d"
+  "libaeep_fault.a"
+  "libaeep_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeep_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeep_mem.dir/bus.cpp.o"
+  "CMakeFiles/aeep_mem.dir/bus.cpp.o.d"
+  "CMakeFiles/aeep_mem.dir/memory_store.cpp.o"
+  "CMakeFiles/aeep_mem.dir/memory_store.cpp.o.d"
+  "libaeep_mem.a"
+  "libaeep_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeep_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protect/area_model.cpp" "src/protect/CMakeFiles/aeep_protect.dir/area_model.cpp.o" "gcc" "src/protect/CMakeFiles/aeep_protect.dir/area_model.cpp.o.d"
+  "/root/repo/src/protect/cleaning_logic.cpp" "src/protect/CMakeFiles/aeep_protect.dir/cleaning_logic.cpp.o" "gcc" "src/protect/CMakeFiles/aeep_protect.dir/cleaning_logic.cpp.o.d"
+  "/root/repo/src/protect/energy_model.cpp" "src/protect/CMakeFiles/aeep_protect.dir/energy_model.cpp.o" "gcc" "src/protect/CMakeFiles/aeep_protect.dir/energy_model.cpp.o.d"
+  "/root/repo/src/protect/non_uniform.cpp" "src/protect/CMakeFiles/aeep_protect.dir/non_uniform.cpp.o" "gcc" "src/protect/CMakeFiles/aeep_protect.dir/non_uniform.cpp.o.d"
+  "/root/repo/src/protect/protected_l2.cpp" "src/protect/CMakeFiles/aeep_protect.dir/protected_l2.cpp.o" "gcc" "src/protect/CMakeFiles/aeep_protect.dir/protected_l2.cpp.o.d"
+  "/root/repo/src/protect/scrubber.cpp" "src/protect/CMakeFiles/aeep_protect.dir/scrubber.cpp.o" "gcc" "src/protect/CMakeFiles/aeep_protect.dir/scrubber.cpp.o.d"
+  "/root/repo/src/protect/shared_ecc_array.cpp" "src/protect/CMakeFiles/aeep_protect.dir/shared_ecc_array.cpp.o" "gcc" "src/protect/CMakeFiles/aeep_protect.dir/shared_ecc_array.cpp.o.d"
+  "/root/repo/src/protect/uniform_ecc.cpp" "src/protect/CMakeFiles/aeep_protect.dir/uniform_ecc.cpp.o" "gcc" "src/protect/CMakeFiles/aeep_protect.dir/uniform_ecc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/aeep_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/aeep_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aeep_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aeep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

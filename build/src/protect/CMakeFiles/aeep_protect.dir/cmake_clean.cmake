@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeep_protect.dir/area_model.cpp.o"
+  "CMakeFiles/aeep_protect.dir/area_model.cpp.o.d"
+  "CMakeFiles/aeep_protect.dir/cleaning_logic.cpp.o"
+  "CMakeFiles/aeep_protect.dir/cleaning_logic.cpp.o.d"
+  "CMakeFiles/aeep_protect.dir/energy_model.cpp.o"
+  "CMakeFiles/aeep_protect.dir/energy_model.cpp.o.d"
+  "CMakeFiles/aeep_protect.dir/non_uniform.cpp.o"
+  "CMakeFiles/aeep_protect.dir/non_uniform.cpp.o.d"
+  "CMakeFiles/aeep_protect.dir/protected_l2.cpp.o"
+  "CMakeFiles/aeep_protect.dir/protected_l2.cpp.o.d"
+  "CMakeFiles/aeep_protect.dir/scrubber.cpp.o"
+  "CMakeFiles/aeep_protect.dir/scrubber.cpp.o.d"
+  "CMakeFiles/aeep_protect.dir/shared_ecc_array.cpp.o"
+  "CMakeFiles/aeep_protect.dir/shared_ecc_array.cpp.o.d"
+  "CMakeFiles/aeep_protect.dir/uniform_ecc.cpp.o"
+  "CMakeFiles/aeep_protect.dir/uniform_ecc.cpp.o.d"
+  "libaeep_protect.a"
+  "libaeep_protect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeep_protect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeep_sim.dir/experiment.cpp.o"
+  "CMakeFiles/aeep_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/aeep_sim.dir/hierarchy.cpp.o"
+  "CMakeFiles/aeep_sim.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/aeep_sim.dir/system.cpp.o"
+  "CMakeFiles/aeep_sim.dir/system.cpp.o.d"
+  "libaeep_sim.a"
+  "libaeep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeep_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeep_workload.dir/generator.cpp.o"
+  "CMakeFiles/aeep_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/aeep_workload.dir/profile.cpp.o"
+  "CMakeFiles/aeep_workload.dir/profile.cpp.o.d"
+  "CMakeFiles/aeep_workload.dir/trace.cpp.o"
+  "CMakeFiles/aeep_workload.dir/trace.cpp.o.d"
+  "libaeep_workload.a"
+  "libaeep_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeep_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

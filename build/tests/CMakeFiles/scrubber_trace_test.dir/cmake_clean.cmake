@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrubber_trace_test.dir/scrubber_trace_test.cpp.o"
+  "CMakeFiles/scrubber_trace_test.dir/scrubber_trace_test.cpp.o.d"
+  "scrubber_trace_test"
+  "scrubber_trace_test.pdb"
+  "scrubber_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrubber_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

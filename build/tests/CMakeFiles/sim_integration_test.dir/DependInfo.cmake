@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_integration_test.cpp" "tests/CMakeFiles/sim_integration_test.dir/sim_integration_test.cpp.o" "gcc" "tests/CMakeFiles/sim_integration_test.dir/sim_integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/aeep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aeep_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/aeep_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/aeep_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/protect/CMakeFiles/aeep_protect.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/aeep_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/aeep_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aeep_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aeep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

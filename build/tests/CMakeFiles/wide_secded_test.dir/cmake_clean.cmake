@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_secded_test.dir/wide_secded_test.cpp.o"
+  "CMakeFiles/wide_secded_test.dir/wide_secded_test.cpp.o.d"
+  "wide_secded_test"
+  "wide_secded_test.pdb"
+  "wide_secded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_secded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/ecc_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/protect_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/wide_secded_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_property_test[1]_include.cmake")
+include("/root/repo/build/tests/scrubber_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/combo_invariant_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_integration_test[1]_include.cmake")
