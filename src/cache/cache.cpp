@@ -11,6 +11,7 @@ Cache::Cache(const CacheGeometry& geometry, ReplacementPolicy replacement,
   geom_.validate();
   lines_.resize(geom_.total_lines());
   payload_.resize(geom_.total_lines() * geom_.words_per_line(), 0);
+  retired_.assign(geom_.total_lines(), 0);
 }
 
 ProbeResult Cache::probe(Addr addr) const {
@@ -29,8 +30,9 @@ void Cache::touch(u64 set, unsigned way, Cycle now) {
 }
 
 Victim Cache::pick_victim(u64 set) {
-  // Prefer an invalid way.
+  // Prefer an invalid (and not retired) way.
   for (unsigned w = 0; w < geom_.ways; ++w) {
+    if (is_retired(set, w)) continue;
     if (!lines_[line_index(set, w)].valid) {
       Victim v;
       v.valid = false;
@@ -38,24 +40,36 @@ Victim Cache::pick_victim(u64 set) {
       return v;
     }
   }
-  unsigned choice = 0;
+  unsigned choice = geom_.ways;  // sentinel: no active way found yet
   switch (repl_) {
     case ReplacementPolicy::kLru:
     case ReplacementPolicy::kFifo: {
-      Cycle best = lines_[line_index(set, 0)].stamp;
-      for (unsigned w = 1; w < geom_.ways; ++w) {
+      Cycle best = ~Cycle{0};
+      for (unsigned w = 0; w < geom_.ways; ++w) {
+        if (is_retired(set, w)) continue;
         const Cycle s = lines_[line_index(set, w)].stamp;
-        if (s < best) {
+        if (choice == geom_.ways || s < best) {
           best = s;
           choice = w;
         }
       }
       break;
     }
-    case ReplacementPolicy::kRandom:
-      choice = static_cast<unsigned>(rng_.next_below(geom_.ways));
+    case ReplacementPolicy::kRandom: {
+      const unsigned n = active_ways(set);
+      assert(n > 0);
+      unsigned pick = static_cast<unsigned>(rng_.next_below(n));
+      for (unsigned w = 0; w < geom_.ways; ++w) {
+        if (is_retired(set, w)) continue;
+        if (pick-- == 0) {
+          choice = w;
+          break;
+        }
+      }
       break;
+    }
   }
+  assert(choice < geom_.ways && "a set must keep at least one active way");
   const CacheLineMeta& m = lines_[line_index(set, choice)];
   Victim v;
   v.valid = true;
@@ -69,6 +83,7 @@ Victim Cache::pick_victim(u64 set) {
 void Cache::install(u64 set, unsigned way, Addr addr, Cycle now,
                     std::span<const u64> payload) {
   assert(way < geom_.ways);
+  assert(!is_retired(set, way) && "cannot install into a retired way");
   assert(geom_.set_index(addr) == set);
   CacheLineMeta& m = lines_[line_index(set, way)];
   if (m.valid) {
@@ -98,6 +113,24 @@ void Cache::invalidate(u64 set, unsigned way) {
   m.valid = false;
   m.dirty = false;
   m.written = false;
+}
+
+void Cache::retire_way(u64 set, unsigned way) {
+  assert(way < geom_.ways);
+  assert(!lines_[line_index(set, way)].valid &&
+         "dispose of the resident line before retiring its way");
+  u8& fuse = retired_[line_index(set, way)];
+  if (fuse) return;
+  assert(active_ways(set) > 1 && "a set must keep at least one active way");
+  fuse = 1;
+  ++retired_count_;
+}
+
+unsigned Cache::active_ways(u64 set) const {
+  unsigned n = 0;
+  for (unsigned w = 0; w < geom_.ways; ++w)
+    if (!is_retired(set, w)) ++n;
+  return n;
 }
 
 void Cache::mark_dirty(u64 set, unsigned way) {
@@ -163,6 +196,8 @@ std::span<const u64> Cache::data(u64 set, unsigned way) const {
 void Cache::reset() {
   for (auto& m : lines_) m = CacheLineMeta{};
   std::fill(payload_.begin(), payload_.end(), 0);
+  std::fill(retired_.begin(), retired_.end(), u8{0});
+  retired_count_ = 0;
   dirty_count_ = 0;
   stats_ = {};
 }

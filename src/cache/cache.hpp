@@ -84,6 +84,20 @@ class Cache {
   /// Invalidate a line (drops dirty state; caller handles any write-back).
   void invalidate(u64 set, unsigned way);
 
+  // --- Graceful degradation: way retirement -------------------------------
+  /// Fuse off (set, way): the slot never hits and pick_victim never chooses
+  /// it again, shrinking the set's effective associativity. The caller must
+  /// have disposed of any resident line first (invalidate + write-back).
+  /// At least one way per set must stay active (enforced by assert).
+  void retire_way(u64 set, unsigned way);
+  bool is_retired(u64 set, unsigned way) const {
+    return retired_[line_index(set, way)] != 0;
+  }
+  /// Non-retired ways remaining in one set.
+  unsigned active_ways(u64 set) const;
+  /// Total retired (set, way) slots across the cache.
+  u64 retired_ways() const { return retired_count_; }
+
   // --- Status-bit management (maintains the dirty-line count). ---
   void mark_dirty(u64 set, unsigned way);
   void clear_dirty(u64 set, unsigned way);
@@ -117,6 +131,8 @@ class Cache {
   ReplacementPolicy repl_;
   std::vector<CacheLineMeta> lines_;
   std::vector<u64> payload_;
+  std::vector<u8> retired_;  ///< per-slot fuse bits (way retirement)
+  u64 retired_count_ = 0;
   u64 dirty_count_ = 0;
   CacheStats stats_;
   Xorshift64Star rng_;

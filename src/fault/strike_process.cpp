@@ -1,0 +1,194 @@
+#include "fault/strike_process.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitops.hpp"
+
+namespace aeep::fault {
+
+namespace {
+
+/// Storage bits the configuration provisions, by scheme (the Poisson
+/// process does not know which cells currently hold live contents).
+u64 provisioned_storage_bits(const protect::L2Config& cfg) {
+  const auto& g = cfg.geometry;
+  const u64 lines = g.total_lines();
+  const u64 words = g.words_per_line();
+  const u64 data = lines * g.line_bytes * 8;
+  u64 parity = 0;
+  u64 ecc = 0;
+  switch (cfg.scheme) {
+    case protect::SchemeKind::kUniformEcc:
+      ecc = lines * words * 8;
+      break;
+    case protect::SchemeKind::kNonUniform:
+      parity = lines * words;
+      ecc = lines * words * 8;
+      break;
+    case protect::SchemeKind::kSharedEccArray:
+      parity = lines * words;
+      ecc = g.num_sets() * cfg.ecc_entries_per_set * words * 8;
+      break;
+  }
+  return data + parity + ecc;
+}
+
+}  // namespace
+
+StrikeProcess::StrikeProcess(protect::ProtectedL2& l2,
+                             const StrikeConfig& config)
+    : l2_(&l2), config_(config), rng_(config.seed) {
+  provisioned_bits_ = provisioned_storage_bits(l2.config());
+  p_strike_ = std::min(
+      1.0, config_.lambda_per_bit_cycle * config_.rate_scale *
+               static_cast<double>(provisioned_bits_));
+  never_ = !(p_strike_ > 0.0);
+  if (!never_) schedule_next(0);
+  next_reassert_ = config_.stuck_reassert_interval;
+}
+
+void StrikeProcess::schedule_next(Cycle now) {
+  next_strike_ = now + rng_.next_geometric(p_strike_);
+}
+
+bool StrikeProcess::flip_stored_bit(FaultTarget target, u64 set, unsigned way,
+                                    u64 bit) {
+  cache::Cache& cache = l2_->cache_model();
+  if (!cache.meta(set, way).valid) return false;
+  protect::ProtectionScheme& scheme = l2_->scheme();
+  switch (target) {
+    case FaultTarget::kData: {
+      auto data = cache.data(set, way);
+      const unsigned w = static_cast<unsigned>(bit / 64);
+      data[w] = flip_bit(data[w], static_cast<unsigned>(bit % 64));
+      return true;
+    }
+    case FaultTarget::kParity: {
+      auto par = scheme.parity_words(set, way);
+      if (par.empty()) return false;
+      par[bit] = flip_bit(par[bit], 0);  // one live bit per parity word
+      return true;
+    }
+    case FaultTarget::kEcc: {
+      auto eccw = scheme.ecc_words(set, way);
+      if (eccw.empty()) return false;  // no live ECC (clean line / no entry)
+      const unsigned w = static_cast<unsigned>(bit / 8);
+      eccw[w] = flip_bit(eccw[w], static_cast<unsigned>(bit % 8));
+      return true;
+    }
+  }
+  return false;
+}
+
+void StrikeProcess::apply_random_strike() {
+  ++stats_.strikes;
+  const auto& geom = l2_->config().geometry;
+  const u64 words = geom.words_per_line();
+  const u64 data_bits = geom.line_bytes * 8;
+  const u64 parity_prov =
+      l2_->config().scheme == protect::SchemeKind::kUniformEcc ? 0 : words;
+  const u64 ecc_prov = words * 8;
+
+  const u64 set = rng_.next_below(geom.num_sets());
+  const unsigned way = static_cast<unsigned>(rng_.next_below(geom.ways));
+  const u64 roll = rng_.next_below(data_bits + parity_prov + ecc_prov);
+  const bool mbu = config_.double_bit_fraction > 0.0 &&
+                   rng_.chance(config_.double_bit_fraction);
+
+  FaultTarget target;
+  u64 bit;
+  if (roll < data_bits) {
+    target = FaultTarget::kData;
+    bit = roll;
+  } else if (roll < data_bits + parity_prov) {
+    target = FaultTarget::kParity;
+    bit = roll - data_bits;
+  } else {
+    target = FaultTarget::kEcc;
+    bit = roll - data_bits - parity_prov;
+  }
+
+  if (!flip_stored_bit(target, set, way, bit)) {
+    ++stats_.absorbed;
+    return;
+  }
+  ++stats_.bits_flipped;
+  switch (target) {
+    case FaultTarget::kData: ++stats_.data_hits; break;
+    case FaultTarget::kParity: ++stats_.parity_hits; break;
+    case FaultTarget::kEcc: ++stats_.ecc_hits; break;
+  }
+  // Spatial MBU: the neighbouring bit of the same word flips too. Parity
+  // keeps a single live bit per word, so there is no neighbour to hit.
+  if (mbu && target != FaultTarget::kParity) {
+    if (flip_stored_bit(target, set, way, bit ^ 1)) ++stats_.bits_flipped;
+  }
+}
+
+bool StrikeProcess::stuck_active(const StuckFault& f, Cycle now) const {
+  if (now < f.start) return false;
+  if (f.period == 0) return true;
+  return ((now - f.start) / f.period) % 2 == 0;
+}
+
+bool StrikeProcess::apply_stuck(const StuckFault& f) {
+  cache::Cache& cache = l2_->cache_model();
+  if (!cache.meta(f.set, f.way).valid) return false;
+  protect::ProtectionScheme& scheme = l2_->scheme();
+  u64* word = nullptr;
+  unsigned pos = 0;
+  switch (f.target) {
+    case FaultTarget::kData: {
+      auto data = cache.data(f.set, f.way);
+      word = &data[static_cast<unsigned>(f.bit / 64)];
+      pos = static_cast<unsigned>(f.bit % 64);
+      break;
+    }
+    case FaultTarget::kParity: {
+      auto par = scheme.parity_words(f.set, f.way);
+      if (par.empty()) return false;
+      word = &par[f.bit];
+      pos = 0;
+      break;
+    }
+    case FaultTarget::kEcc: {
+      auto eccw = scheme.ecc_words(f.set, f.way);
+      if (eccw.empty()) return false;
+      word = &eccw[static_cast<unsigned>(f.bit / 8)];
+      pos = static_cast<unsigned>(f.bit % 8);
+      break;
+    }
+  }
+  const bool current = ((*word >> pos) & 1) != 0;
+  if (current == f.stuck_high) return false;  // already at the stuck value
+  *word = flip_bit(*word, pos);
+  return true;
+}
+
+void StrikeProcess::reassert_line(u64 set, unsigned way) {
+  for (const StuckFault& f : config_.stuck_faults) {
+    if (f.set != set || f.way != way) continue;
+    if (!stuck_active(f, last_tick_)) continue;
+    if (apply_stuck(f)) ++stats_.stuck_reasserts;
+  }
+}
+
+void StrikeProcess::tick(Cycle now) {
+  last_tick_ = now;
+  if (!never_) {
+    while (next_strike_ <= now) {
+      apply_random_strike();
+      schedule_next(next_strike_);
+    }
+  }
+  if (!config_.stuck_faults.empty() && now >= next_reassert_) {
+    for (const StuckFault& f : config_.stuck_faults) {
+      if (!stuck_active(f, now)) continue;
+      if (apply_stuck(f)) ++stats_.stuck_reasserts;
+    }
+    next_reassert_ = now + config_.stuck_reassert_interval;
+  }
+}
+
+}  // namespace aeep::fault

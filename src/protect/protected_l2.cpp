@@ -61,6 +61,7 @@ ProtectedL2::ProtectedL2(const L2Config& config, mem::SplitTransactionBus& bus,
       cleaner_(config.geometry.num_sets(), config.cleaning_interval),
       bus_(&bus),
       memory_(&memory),
+      recovery_(config.recovery, cache_, *scheme_, bus, memory),
       fill_buf_(config.geometry.words_per_line(), 0) {
   if (config_.cleaning_policy == CleaningPolicy::kDecayCounter)
     decay_.assign(config_.geometry.total_lines(), 0);
@@ -77,6 +78,12 @@ void ProtectedL2::note_dirty(Cycle now) {
 void ProtectedL2::do_writeback(Cycle now, u64 set, unsigned way,
                                WbCause cause) {
   assert(cache_.meta(set, way).dirty);
+  // Outbound validation: corrupt dirty data must not silently reach memory.
+  if (config_.recovery.check_on_access && config_.maintain_codes &&
+      !recovery_.validate_writeback(now, set, way)) {
+    note_dirty(now);  // the line was dropped instead of written back
+    return;
+  }
   const Addr addr = cache_.line_addr(set, way);
   bus_->write(now, addr, config_.geometry.line_bytes);
   memory_->write_line(addr, cache_.data(set, way));
@@ -88,7 +95,8 @@ void ProtectedL2::do_writeback(Cycle now, u64 set, unsigned way,
 }
 
 ProtectedL2::Located ProtectedL2::locate_or_fill(Cycle now, Addr addr,
-                                                 bool is_write) {
+                                                 bool is_write,
+                                                 unsigned depth) {
   const Cycle start = std::max(now, port_free_);
   port_free_ = start + 1;  // pipelined: one new access per cycle
 
@@ -106,7 +114,29 @@ ProtectedL2::Located ProtectedL2::locate_or_fill(Cycle now, Addr addr,
     else
       ++st.read_hits;
     cache_.touch(pr.set, pr.way, now);
-    return {pr.set, pr.way, start + config_.hit_latency, true};
+    Cycle ready = start + config_.hit_latency;
+
+    // Online validation: every hit runs the scheme's read check and pays
+    // for whatever recovery the outcome demands.
+    if (config_.recovery.check_on_access && config_.maintain_codes &&
+        depth == 0) {
+      const RecoveryController::Result res =
+          recovery_.validate(now, pr.set, pr.way);
+      ready += res.extra_latency;
+      if (res.retire_way)
+        execute_retirement(now, pr.set, pr.way, res.data_intact);
+      if (!cache_.meta(pr.set, pr.way).valid) {
+        // Dropped (and possibly retired): the demand access restarts as a
+        // miss — the containment's re-fetch — into an active way.
+        note_dirty(now);
+        Located refill = locate_or_fill(now, addr, is_write, depth + 1);
+        refill.ready = std::max(refill.ready, ready);
+        refill.was_hit = false;
+        return refill;
+      }
+      if (res.line_dropped || res.retire_way) note_dirty(now);
+    }
+    return {pr.set, pr.way, ready, true};
   }
 
   // Miss: evict, then fill from memory.
@@ -120,9 +150,33 @@ ProtectedL2::Located ProtectedL2::locate_or_fill(Cycle now, Addr addr,
       bus_->read(start + config_.hit_latency, line, config_.geometry.line_bytes);
   memory_->read_line(line, fill_buf_);
   cache_.install(pr.set, victim.way, line, now, fill_buf_);
+  recovery_.on_install(pr.set, victim.way);
   if (config_.maintain_codes) scheme_->on_fill(pr.set, victim.way);
   note_dirty(now);
   return {pr.set, victim.way, fill_done, false};
+}
+
+void ProtectedL2::execute_retirement(Cycle now, u64 set, unsigned way,
+                                     bool data_intact) {
+  const cache::CacheLineMeta& m = cache_.meta(set, way);
+  if (m.valid) {
+    if (m.dirty) {
+      if (data_intact)
+        do_writeback(now, set, way, WbCause::kReplacement);
+      else
+        recovery_.note_dirty_line_lost();
+    }
+    scheme_->on_evict(set, way);
+    cache_.invalidate(set, way);
+  }
+  cache_.retire_way(set, way);
+  recovery_.note_way_retired(now, set, way);
+  note_dirty(now);
+}
+
+double ProtectedL2::retired_capacity_fraction() const {
+  return static_cast<double>(cache_.retired_ways()) /
+         static_cast<double>(config_.geometry.total_lines());
 }
 
 Cycle ProtectedL2::read(Cycle now, Addr addr) {
@@ -221,6 +275,16 @@ void ProtectedL2::tick(Cycle now) {
     ++cleaning_inspections_;
     inspect_set(now, *set);
   }
+  if (config_.recovery.check_on_access && config_.maintain_codes) {
+    // Execute retirements queued by the recovery controller (threshold
+    // crossings on the write-back path) now that no access is in flight.
+    // do_writeback re-validates the evicted dirty data, so corruption the
+    // site accumulated since the queueing still cannot reach memory.
+    u64 set = 0;
+    unsigned way = 0;
+    while (recovery_.take_pending_retirement(set, way))
+      execute_retirement(now, set, way, /*data_intact=*/true);
+  }
 }
 
 void ProtectedL2::finalize(Cycle now) { note_dirty(now); }
@@ -232,6 +296,7 @@ void ProtectedL2::reset_metrics(Cycle now) {
   dirty_level_.reset(last_note_, static_cast<double>(cache_.dirty_count()));
   peak_dirty_ = cache_.dirty_count();
   cleaning_inspections_ = 0;
+  recovery_.reset_stats();
 }
 
 u64 ProtectedL2::wb_total() const {

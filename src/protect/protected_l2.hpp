@@ -17,6 +17,7 @@
 #include "mem/bus.hpp"
 #include "mem/memory_store.hpp"
 #include "protect/cleaning_logic.hpp"
+#include "protect/recovery.hpp"
 #include "protect/scheme.hpp"
 
 namespace aeep::protect {
@@ -60,6 +61,11 @@ struct L2Config {
   /// kDecayCounter: inspections a line must sit write-idle before cleaning.
   unsigned decay_threshold = 2;
   bool maintain_codes = true;         ///< encode/decode real check bits
+  /// Online error-recovery behaviour (validation on access, DUE policy,
+  /// retry budget, way retirement). Validation additionally requires
+  /// maintain_codes. With check_on_access, recovery re-fills of dropped
+  /// lines appear as extra L2 accesses in the cache stats.
+  RecoveryConfig recovery{};
   cache::ReplacementPolicy replacement = cache::ReplacementPolicy::kLru;
   u64 seed = 1;
 };
@@ -103,6 +109,10 @@ class ProtectedL2 {
 
   cache::Cache& cache_model() { return cache_; }
   const cache::Cache& cache_model() const { return cache_; }
+  RecoveryController& recovery() { return recovery_; }
+  const RecoveryController& recovery() const { return recovery_; }
+  /// Fraction of line slots fused off by way retirement.
+  double retired_capacity_fraction() const;
   ProtectionScheme& scheme() { return *scheme_; }
   const L2Config& config() const { return config_; }
   const CleaningLogic& cleaner() const { return cleaner_; }
@@ -117,7 +127,13 @@ class ProtectedL2 {
   };
 
   /// Probe; on miss, evict + fill from memory. Returns the line location.
-  Located locate_or_fill(Cycle now, Addr addr, bool is_write);
+  /// `depth` guards the recovery re-fill recursion (a dropped or retired
+  /// line restarts the access as a miss exactly once).
+  Located locate_or_fill(Cycle now, Addr addr, bool is_write,
+                         unsigned depth = 0);
+
+  /// Fuse off (set, way): write back intact dirty data, invalidate, retire.
+  void execute_retirement(Cycle now, u64 set, unsigned way, bool data_intact);
 
   /// Write a dirty line back (bus + memory store), make it clean, notify
   /// the scheme, and classify the traffic.
@@ -131,6 +147,7 @@ class ProtectedL2 {
   CleaningLogic cleaner_;
   mem::SplitTransactionBus* bus_;
   mem::MemoryStore* memory_;
+  RecoveryController recovery_;
 
   /// Inspect one set per the cleaning policy (factored out of tick()).
   void inspect_set(Cycle now, u64 set);

@@ -21,6 +21,22 @@ SystemConfig make_system_config(const std::string& benchmark,
   cfg.hierarchy.l2.ecc_entries_per_set = opts.ecc_entries_per_set;
   cfg.hierarchy.l2.maintain_codes = opts.maintain_codes;
   cfg.hierarchy.l2.seed = opts.seed;
+
+  cfg.hierarchy.l2.recovery.due_policy = opts.due_policy;
+  cfg.hierarchy.l2.recovery.retirement_threshold = opts.retirement_threshold;
+  cfg.hierarchy.l2.recovery.max_refetch_retries = opts.max_refetch_retries;
+  if (opts.strikes_enabled) {
+    // Live strikes are pointless without real codes and online validation.
+    cfg.hierarchy.l2.maintain_codes = true;
+    cfg.hierarchy.l2.recovery.check_on_access = true;
+    cfg.hierarchy.strikes.enabled = true;
+    cfg.hierarchy.strikes.lambda_per_bit_cycle = opts.strike_lambda;
+    cfg.hierarchy.strikes.rate_scale = opts.strike_rate_scale;
+    cfg.hierarchy.strikes.double_bit_fraction =
+        opts.strike_double_bit_fraction;
+    cfg.hierarchy.strikes.stuck_faults = opts.stuck_faults;
+    cfg.hierarchy.strikes.seed = opts.seed + 0x5EED;
+  }
   return cfg;
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/strike_process.hpp"
 #include "sim/system.hpp"
 
 namespace aeep::sim {
@@ -24,6 +25,25 @@ struct ExperimentOptions {
   /// Skip real check-bit encode/decode for timing-only sweeps (the paper's
   /// metrics never depend on code contents, only on dirty-state dynamics).
   bool maintain_codes = false;
+
+  // --- Online fault injection & recovery ---------------------------------
+  /// Poisson strikes into the live L2 arrays during the run. Enabling this
+  /// forces maintain_codes and check-on-access validation.
+  bool strikes_enabled = false;
+  /// Raw per-bit per-cycle strike rate (90nm-class default).
+  double strike_lambda = 1e-19;
+  /// Acceleration factor making strikes visible at simulation scale.
+  double strike_rate_scale = 0.0;
+  /// Fraction of strikes that are 2-bit same-word MBUs.
+  double strike_double_bit_fraction = 0.0;
+  /// Persistent/intermittent stuck-at fault sites.
+  std::vector<fault::StuckFault> stuck_faults{};
+  /// What to do with a detected-uncorrectable error.
+  protect::DuePolicy due_policy = protect::DuePolicy::kDropRefetch;
+  /// Errors at one (set, way) before the way retires; 0 = never.
+  unsigned retirement_threshold = 0;
+  /// Re-fetch retries before a persistently failing line is dropped.
+  unsigned max_refetch_retries = 3;
 };
 
 /// The Table-1 machine with `opts` applied, ready for System().

@@ -14,7 +14,15 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
       l1d_(config.l1d),
       itlb_(config.itlb),
       dtlb_(config.dtlb),
-      wbuf_(config.write_buffer_entries, config.l2.geometry.line_bytes) {}
+      wbuf_(config.write_buffer_entries, config.l2.geometry.line_bytes) {
+  if (config_.strikes.enabled) {
+    strikes_ = std::make_unique<fault::StrikeProcess>(l2_, config_.strikes);
+    // Persistent faults re-corrupt a freshly re-fetched line before the
+    // recovery controller's re-check — that is what exhausts retries.
+    l2_.recovery().set_reassert_hook(
+        [this](u64 set, unsigned way) { strikes_->reassert_line(set, way); });
+  }
+}
 
 Cycle MemoryHierarchy::fetch(Cycle now, Addr pc) {
   const Cycle tlb_extra = itlb_.access(pc, now);
@@ -87,6 +95,8 @@ void MemoryHierarchy::drain_front(Cycle now) {
 }
 
 void MemoryHierarchy::tick(Cycle now) {
+  // Strikes land before this cycle's drains/inspections touch the arrays.
+  if (strikes_) strikes_->tick(now);
   while (!wbuf_.empty() && wb_issue_free_ <= now) {
     const bool over_watermark = wbuf_.size() > config_.wb_high_watermark;
     const bool aged =
@@ -108,6 +118,7 @@ void MemoryHierarchy::reset_stats(Cycle now) {
   wbuf_.reset_stats();
   itlb_.reset_stats();
   dtlb_.reset_stats();
+  if (strikes_) strikes_->reset_stats();
   l2_.reset_metrics(now);
 }
 

@@ -6,11 +6,13 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 
 #include "cache/cache.hpp"
 #include "cache/write_buffer.hpp"
 #include "cpu/memory_iface.hpp"
 #include "cpu/tlb.hpp"
+#include "fault/strike_process.hpp"
 #include "mem/bus.hpp"
 #include "mem/memory_store.hpp"
 #include "protect/protected_l2.hpp"
@@ -30,6 +32,8 @@ struct HierarchyConfig {
   /// once occupancy exceeds the watermark — whichever comes first.
   Cycle wb_min_residency = 64;
   unsigned wb_high_watermark = 12;
+  /// Online soft-error strikes into the live L2 arrays (off by default).
+  fault::StrikeConfig strikes{};
 };
 
 class MemoryHierarchy final : public cpu::MemoryInterface {
@@ -46,6 +50,9 @@ class MemoryHierarchy final : public cpu::MemoryInterface {
 
   protect::ProtectedL2& l2() { return l2_; }
   const protect::ProtectedL2& l2() const { return l2_; }
+  /// Non-null iff strikes are enabled in the configuration.
+  fault::StrikeProcess* strikes() { return strikes_.get(); }
+  const fault::StrikeProcess* strikes() const { return strikes_.get(); }
   cache::Cache& l1i() { return l1i_; }
   cache::Cache& l1d() { return l1d_; }
   const cache::WriteBuffer& write_buffer() const { return wbuf_; }
@@ -65,6 +72,7 @@ class MemoryHierarchy final : public cpu::MemoryInterface {
   mem::MemoryStore store_;
   mem::SplitTransactionBus bus_;
   protect::ProtectedL2 l2_;
+  std::unique_ptr<fault::StrikeProcess> strikes_;
   cache::Cache l1i_;
   cache::Cache l1d_;
   cpu::Tlb itlb_;

@@ -37,6 +37,12 @@ RunResult System::run() {
   r.wb_cleaning = l2.wb_count(protect::WbCause::kCleaning);
   r.wb_ecc = l2.wb_count(protect::WbCause::kEccEviction);
 
+  r.recovery = l2.recovery().stats();
+  r.retired_ways = l2.cache_model().retired_ways();
+  r.retired_capacity_fraction = l2.retired_capacity_fraction();
+  r.panicked = l2.recovery().panicked();
+  if (const auto* sp = hierarchy_.strikes()) r.strikes = sp->stats();
+
   r.l1i = hierarchy_.l1i().stats();
   r.l1d = hierarchy_.l1d().stats();
   r.l2 = l2.cache_model().stats();

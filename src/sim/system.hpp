@@ -40,6 +40,13 @@ struct RunResult {
   mem::BusStats bus{};
   cpu::TlbStats itlb{}, dtlb{};
 
+  // Online error-recovery metrics (all zero when strikes/checking are off).
+  protect::RecoveryStats recovery{};
+  fault::StrikeStats strikes{};
+  u64 retired_ways = 0;                   ///< (set, way) slots fused off
+  double retired_capacity_fraction = 0.0; ///< retired_ways / total lines
+  bool panicked = false;                  ///< DUE panic latch (kPanic policy)
+
   u64 wb_total() const { return wb_replacement + wb_cleaning + wb_ecc; }
   /// Write-backs as a fraction of loads+stores (Figures 5 / 6 / 8).
   double wb_per_ls() const {

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "fault/injector.hpp"
+#include "mem/bus.hpp"
+#include "mem/memory_store.hpp"
 #include "sim/experiment.hpp"
 #include "sim/system.hpp"
 
@@ -113,6 +115,85 @@ TEST(FaultClassification, TallyAccumulates) {
   for (unsigned c = 0; c < kNumFaultClasses; ++c)
     sum += campaign.tally().by_class[c];
   EXPECT_EQ(sum, campaign.tally().injections);
+}
+
+/// A small stand-alone L2 whose line population the test controls exactly.
+class InjectEdgeCases : public ::testing::Test {
+ protected:
+  std::unique_ptr<protect::ProtectedL2> make_l2(protect::SchemeKind scheme) {
+    protect::L2Config cfg;
+    cfg.geometry = cache::CacheGeometry{4096, 4, 64};  // 16 sets x 8 words
+    cfg.scheme = scheme;
+    cfg.maintain_codes = true;
+    return std::make_unique<protect::ProtectedL2>(cfg, bus_, memory_);
+  }
+
+  void fill_clean(protect::ProtectedL2& l2, unsigned lines) {
+    for (unsigned i = 0; i < lines; ++i)
+      l2.read(10 * i, l2.config().geometry.line_base(Addr{0x40000} + i * 64));
+  }
+
+  mem::SplitTransactionBus bus_{{8, 100}};
+  mem::MemoryStore memory_;
+};
+
+TEST_F(InjectEdgeCases, EccTargetNeedsDirtyLinesUnderSharedScheme) {
+  // An all-clean cache under the shared-ECC scheme holds no live ECC bits:
+  // asking for an ECC flip must decline rather than corrupt dead storage.
+  auto l2 = make_l2(protect::SchemeKind::kSharedEccArray);
+  fill_clean(*l2, 32);
+  FaultCampaign campaign(*l2, 11);
+  EXPECT_FALSE(campaign.inject(FaultTarget::kEcc, 1).has_value());
+  EXPECT_EQ(campaign.tally().injections, 0u);  // declined strikes don't tally
+}
+
+TEST_F(InjectEdgeCases, InjectAnywhereSurvivesAllCleanSharedCache) {
+  // inject_anywhere rolls a storage-weighted target; ECC rolls land in dead
+  // storage here and must come back nullopt, everything else must recover.
+  auto l2 = make_l2(protect::SchemeKind::kSharedEccArray);
+  fill_clean(*l2, 32);
+  FaultCampaign campaign(*l2, 12);
+  unsigned landed = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto r = campaign.inject_anywhere(1);
+    if (!r) continue;
+    ++landed;
+    EXPECT_EQ(r->cls, FaultClass::kRecovered);
+    EXPECT_FALSE(r->line_was_dirty);
+  }
+  EXPECT_GT(landed, 0u);
+  EXPECT_EQ(campaign.tally().injections, landed);
+}
+
+TEST_F(InjectEdgeCases, MoreFlipsThanLiveBitsDeclines) {
+  auto l2 = make_l2(protect::SchemeKind::kNonUniform);
+  fill_clean(*l2, 8);
+  FaultCampaign campaign(*l2, 13);
+  const unsigned words = l2->config().geometry.words_per_line();  // 8
+  // Parity carries one live bit per word; words+1 flips cannot fit.
+  EXPECT_FALSE(campaign.inject(FaultTarget::kParity, words + 1).has_value());
+  EXPECT_TRUE(campaign.inject(FaultTarget::kParity, words).has_value());
+  // A 64B line holds 512 data bits; 513 distinct flips cannot fit.
+  EXPECT_FALSE(campaign.inject(FaultTarget::kData, words * 64 + 1).has_value());
+  EXPECT_TRUE(campaign.inject(FaultTarget::kData, words * 64).has_value());
+}
+
+TEST_F(InjectEdgeCases, TallyRatesSumToOne) {
+  auto l2 = make_l2(protect::SchemeKind::kNonUniform);
+  fill_clean(*l2, 32);
+  // Mix dirty lines in so every fault class is reachable.
+  for (unsigned i = 0; i < 8; ++i) {
+    const Addr a = l2->config().geometry.line_base(Addr{0x40000} + i * 64);
+    l2->write(1000 + i, a, ~u64{0}, std::vector<u64>(8, 0xD1));
+  }
+  FaultCampaign campaign(*l2, 14);
+  for (int i = 0; i < 300; ++i) campaign.inject_anywhere(1 + i % 2);
+  const auto& tally = campaign.tally();
+  ASSERT_GT(tally.injections, 0u);
+  double sum = 0.0;
+  for (unsigned c = 0; c < kNumFaultClasses; ++c)
+    sum += tally.rate(static_cast<FaultClass>(c));
+  EXPECT_DOUBLE_EQ(sum, 1.0);
 }
 
 TEST(FaultClassification, Names) {

@@ -456,6 +456,32 @@ TEST_F(ProtectedL2Test, ResetMetricsKeepsState) {
   EXPECT_EQ(l2.cache_model().dirty_count(), 1u);
 }
 
+TEST_F(ProtectedL2Test, ResetMetricsRebasesPeakDirtyAndInspections) {
+  auto cfg = small_config(SchemeKind::kNonUniform, /*interval=*/1600);
+  ProtectedL2 l2(cfg, bus_, memory_);
+  // Push the dirty population to 3, then evict one via conflict fills so
+  // the *current* level (2) sits below the recorded peak (3). High sets:
+  // the FSM (one set per 100 cycles) must not reach them before t=400.
+  for (u64 s = 12; s < 15; ++s)
+    l2.write(s, cfg.geometry.addr_of(1, s), ~u64{0}, line_of(s));
+  for (unsigned k = 1; k <= 4; ++k)
+    l2.read(100 + k, cfg.geometry.addr_of(100 + k, 12));
+  ASSERT_EQ(l2.cache_model().dirty_count(), 2u);
+  ASSERT_EQ(l2.peak_dirty_lines(), 3u);
+  for (Cycle t = 105; t <= 400; ++t) l2.tick(t);
+  ASSERT_GT(l2.cleaning_inspections(), 0u);
+
+  // After a warm-up reset the metrics must restart from live state: the
+  // peak rebases to the current dirty count, inspections to zero — and the
+  // dirty-residency integral agrees with the rebased level.
+  l2.reset_metrics(400);
+  EXPECT_EQ(l2.peak_dirty_lines(), l2.cache_model().dirty_count());
+  EXPECT_EQ(l2.peak_dirty_lines(), 2u);
+  EXPECT_EQ(l2.cleaning_inspections(), 0u);
+  l2.finalize(600);
+  EXPECT_NEAR(l2.avg_dirty_lines(), 2.0, 1e-9);
+}
+
 TEST_F(ProtectedL2Test, SchemeNames) {
   EXPECT_STREQ(to_string(WbCause::kReplacement), "WB");
   EXPECT_STREQ(to_string(WbCause::kCleaning), "Clean-WB");
