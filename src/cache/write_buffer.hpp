@@ -42,6 +42,10 @@ class WriteBuffer {
   /// Oldest entry (does not remove).
   const WriteBufferEntry* front() const;
 
+  /// All buffered entries, oldest first (read-only; used by the invariant
+  /// auditor to check CAM consistency).
+  const std::deque<WriteBufferEntry>& entries() const { return fifo_; }
+
   /// Remove the oldest entry after draining it to L2.
   WriteBufferEntry pop();
 

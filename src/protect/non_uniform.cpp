@@ -114,6 +114,8 @@ std::span<u64> NonUniformScheme::ecc_words(u64 set, unsigned way) {
   return {ecc_.data() + line_slot(set, way) * words_, words_};
 }
 
+void NonUniformScheme::reset_metrics() { peak_dirty_ = cache().dirty_count(); }
+
 AreaReport NonUniformScheme::area() const {
   const double frac =
       static_cast<double>(peak_dirty_) /

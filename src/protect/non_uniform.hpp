@@ -32,6 +32,9 @@ class NonUniformScheme final : public ProtectionScheme {
   /// observed so far (what a designer sizing §3.1 storage would need).
   AreaReport area() const override;
 
+  /// Rebase the peak to the current dirty population (post-warm-up sizing).
+  void reset_metrics() override;
+
   u64 peak_dirty_lines() const { return peak_dirty_; }
 
  private:

@@ -40,6 +40,7 @@ const char* to_string(SchemeKind k) {
 namespace {
 std::unique_ptr<ProtectionScheme> make_scheme(const L2Config& cfg,
                                               cache::Cache& cache) {
+  if (cfg.scheme_factory) return cfg.scheme_factory(cache);
   switch (cfg.scheme) {
     case SchemeKind::kUniformEcc:
       return std::make_unique<UniformEccScheme>(cache);
@@ -180,7 +181,9 @@ double ProtectedL2::retired_capacity_fraction() const {
 }
 
 Cycle ProtectedL2::read(Cycle now, Addr addr) {
-  return locate_or_fill(now, addr, /*is_write=*/false).ready;
+  const Cycle ready = locate_or_fill(now, addr, /*is_write=*/false).ready;
+  if (audit_hook_) audit_hook_(now);
+  return ready;
 }
 
 Cycle ProtectedL2::write(Cycle now, Addr addr, u64 word_mask,
@@ -211,6 +214,7 @@ Cycle ProtectedL2::write(Cycle now, Addr addr, u64 word_mask,
   if (config_.maintain_codes)
     scheme_->on_write_applied(loc.set, loc.way, word_mask);
   note_dirty(now);
+  if (audit_hook_) audit_hook_(now);
   return loc.ready;
 }
 
@@ -271,9 +275,11 @@ void ProtectedL2::inspect_set(Cycle now, u64 set) {
 }
 
 void ProtectedL2::tick(Cycle now) {
+  bool did_work = false;
   while (auto set = cleaner_.due(now)) {
     ++cleaning_inspections_;
     inspect_set(now, *set);
+    did_work = true;
   }
   if (config_.recovery.check_on_access && config_.maintain_codes) {
     // Execute retirements queued by the recovery controller (threshold
@@ -282,9 +288,12 @@ void ProtectedL2::tick(Cycle now) {
     // site accumulated since the queueing still cannot reach memory.
     u64 set = 0;
     unsigned way = 0;
-    while (recovery_.take_pending_retirement(set, way))
+    while (recovery_.take_pending_retirement(set, way)) {
       execute_retirement(now, set, way, /*data_intact=*/true);
+      did_work = true;
+    }
   }
+  if (did_work && audit_hook_) audit_hook_(now);
 }
 
 void ProtectedL2::finalize(Cycle now) { note_dirty(now); }
@@ -297,6 +306,7 @@ void ProtectedL2::reset_metrics(Cycle now) {
   peak_dirty_ = cache_.dirty_count();
   cleaning_inspections_ = 0;
   recovery_.reset_stats();
+  scheme_->reset_metrics();
 }
 
 u64 ProtectedL2::wb_total() const {

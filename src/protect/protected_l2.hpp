@@ -9,6 +9,7 @@
 // per cycle" (Figures 1, 3, 4, 7).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 
@@ -68,6 +69,11 @@ struct L2Config {
   RecoveryConfig recovery{};
   cache::ReplacementPolicy replacement = cache::ReplacementPolicy::kLru;
   u64 seed = 1;
+  /// When set, overrides `scheme`: the L2 installs whatever this builds.
+  /// Used by the verification layer to run deliberately-broken scheme
+  /// fixtures through the real controller.
+  std::function<std::unique_ptr<ProtectionScheme>(cache::Cache&)>
+      scheme_factory;
 };
 
 class ProtectedL2 {
@@ -118,6 +124,14 @@ class ProtectedL2 {
   const CleaningLogic& cleaner() const { return cleaner_; }
   mem::MemoryStore& memory() { return *memory_; }
 
+  /// Observer called after every externally visible operation (read, write,
+  /// or a tick that cleaned/retired something), once all state changes have
+  /// settled. The verify::Auditor attaches here; the hook must not call
+  /// back into the L2. Pass nullptr to detach.
+  void set_audit_hook(std::function<void(Cycle)> hook) {
+    audit_hook_ = std::move(hook);
+  }
+
  private:
   struct Located {
     u64 set;
@@ -160,6 +174,7 @@ class ProtectedL2 {
   u64 cleaning_inspections_ = 0;
   std::vector<u64> fill_buf_;
   std::vector<u8> decay_;  ///< per-line counters (kDecayCounter only)
+  std::function<void(Cycle)> audit_hook_;
 };
 
 const char* to_string(WbCause c);

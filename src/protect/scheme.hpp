@@ -95,6 +95,11 @@ class ProtectionScheme {
 
   virtual AreaReport area() const = 0;
 
+  /// Zero scheme-level metrics (ECC-entry eviction counts, peak trackers)
+  /// while keeping code state — part of the ProtectedL2::reset_metrics
+  /// chain, so warm-up does not leak into measured counters.
+  virtual void reset_metrics() {}
+
  protected:
   cache::Cache& cache() { return *cache_; }
   const cache::Cache& cache() const { return *cache_; }

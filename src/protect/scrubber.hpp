@@ -34,6 +34,7 @@ class Scrubber {
   void scrub_all(Cycle now);
 
   const ScrubberStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
   Cycle interval() const { return fsm_.interval(); }
 
  private:

@@ -18,7 +18,7 @@
 
 namespace aeep::protect {
 
-class SharedEccArrayScheme final : public ProtectionScheme {
+class SharedEccArrayScheme : public ProtectionScheme {
  public:
   SharedEccArrayScheme(cache::Cache& cache, unsigned entries_per_set = 1);
 
@@ -37,6 +37,8 @@ class SharedEccArrayScheme final : public ProtectionScheme {
   std::span<u64> ecc_words(u64 set, unsigned way) override;
 
   AreaReport area() const override;
+
+  void reset_metrics() override { entry_evictions_ = 0; }
 
   unsigned entries_per_set() const { return entries_per_set_; }
   u64 ecc_entry_evictions() const { return entry_evictions_; }

@@ -1,0 +1,57 @@
+// Deliberately-broken protection schemes — test fixtures for the auditor
+// and the differential model checker. Each models one realistic bug class
+// in the §3.3 shared-ECC-array bookkeeping; a correct verification layer
+// must flag all of them within a few operations.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "protect/shared_ecc_array.hpp"
+
+namespace aeep::verify {
+
+enum class BrokenKind {
+  /// before_dirty never forces the ECC-entry eviction: a full set silently
+  /// accepts one more dirty line, breaking dirty-per-set <= k and leaving
+  /// the extra dirty line with no ECC coverage.
+  kOverCommit,
+  /// on_writeback forgets to release the line's ECC entry: after a
+  /// cleaning or ECC-eviction write-back the now-clean line still owns the
+  /// entry, permanently blocking it for the rest of the set.
+  kLeakEntry,
+  /// on_write_applied corrupts the parity refresh: stored parity goes
+  /// stale on every write (the bug the code-recomputation audit exists
+  /// for).
+  kStaleParity,
+};
+
+const char* to_string(BrokenKind k);
+
+/// A SharedEccArrayScheme with one seeded bug. The overrides are written so
+/// the scheme stays crash-free even past the first violation (no assert
+/// trips, no unbounded forced-write-back loops) — the auditor, not the
+/// process exit, is what must catch it.
+class BrokenSharedEccScheme final : public protect::SharedEccArrayScheme {
+ public:
+  BrokenSharedEccScheme(cache::Cache& cache, BrokenKind kind,
+                        unsigned entries_per_set = 1);
+
+  std::string name() const override;
+
+  std::optional<protect::ForcedWriteback> before_dirty(u64 set,
+                                                       unsigned way) override;
+  void on_write_applied(u64 set, unsigned way, u64 word_mask) override;
+  void on_writeback(u64 set, unsigned way) override;
+
+  BrokenKind kind() const { return kind_; }
+
+ private:
+  BrokenKind kind_;
+};
+
+/// L2Config::scheme_factory building the broken fixture.
+std::function<std::unique_ptr<protect::ProtectionScheme>(cache::Cache&)>
+broken_scheme_factory(BrokenKind kind, unsigned entries_per_set = 1);
+
+}  // namespace aeep::verify

@@ -1,0 +1,39 @@
+// Trivially-correct golden reference model for the differential checker.
+//
+// A cache hierarchy is, observably, a memory: every store becomes the
+// newest value of its word and every load returns the newest value. This
+// model implements exactly that — a flat word map with no caching, no
+// protection and no timing — so any state a real ProtectedL2 exposes
+// (resident line payloads, the backing MemoryStore after a drain) can be
+// cross-checked against it word by word. Kept deliberately independent of
+// cache::Cache and mem::MemoryStore internals: the only shared definition
+// is MemoryStore::pristine_word, the simulator-wide meaning of "memory
+// content that was never written".
+#pragma once
+
+#include <map>
+
+#include "common/types.hpp"
+#include "mem/memory_store.hpp"
+
+namespace aeep::verify {
+
+class GoldenMemory {
+ public:
+  /// Newest value of the aligned 8-byte word at `addr`.
+  u64 read(Addr addr) const {
+    const auto it = words_.find(addr);
+    return it == words_.end() ? mem::MemoryStore::pristine_word(addr)
+                              : it->second;
+  }
+
+  /// A store of `value` to the aligned 8-byte word at `addr` retired.
+  void write(Addr addr, u64 value) { words_[addr] = value; }
+
+  std::size_t words_written() const { return words_.size(); }
+
+ private:
+  std::map<Addr, u64> words_;
+};
+
+}  // namespace aeep::verify

@@ -1,0 +1,125 @@
+// Differential model checker for the protection schemes.
+//
+// Drives a ProtectedL2 (any scheme, including broken test fixtures)
+// through bounded operation sequences on a tiny geometry, with a runtime
+// invariant Auditor attached and a trivially-correct GoldenMemory shadow,
+// and cross-checks after every operation:
+//
+//   - the auditor's paper invariants hold;
+//   - every word of the small address universe has its golden value,
+//     whether it currently lives in the cache or in the memory store.
+//
+// Sequences come from three sources: seeded-random generation, exhaustive
+// enumeration of all sequences up to a bounded length over a small op
+// alphabet, and replay strings. On failure the checker shrinks the
+// sequence to a minimal counterexample (greedy delta debugging) whose
+// encoded form can be replayed from the aeep_modelcheck command line.
+//
+// Fault mode: between operations, seeded single-bit faults are injected
+// into live data/parity/ECC storage and immediately healed through the
+// online recovery path (parity re-fetch for clean lines, SECDED correction
+// for dirty lines) — a correct scheme must still show zero divergences.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "protect/protected_l2.hpp"
+
+namespace aeep::verify {
+
+struct Op {
+  enum class Kind : u8 { kRead, kWrite, kTick };
+  Kind kind = Kind::kRead;
+  u16 line = 0;  ///< index into the address universe
+  u8 word = 0;   ///< word within the line (writes)
+  u8 value = 0;  ///< value seed; the written word is a mix of this byte
+
+  bool operator==(const Op&) const = default;
+};
+
+/// Compact textual form: "r3", "w3.1:7f", "t", comma-separated.
+std::string encode_ops(std::span<const Op> ops);
+std::optional<std::vector<Op>> decode_ops(const std::string& text);
+
+struct ModelCheckConfig {
+  protect::SchemeKind scheme = protect::SchemeKind::kUniformEcc;
+  unsigned entries_per_set = 1;  ///< for kSharedEccArray
+  /// Tiny by design: 4 sets x 2 ways x 2-word (16-byte) lines.
+  cache::CacheGeometry geometry{128, 2, 16};
+  /// Lines in the address universe; > total_lines forces conflict misses.
+  unsigned address_lines = 16;
+  Cycle cleaning_interval = 0;
+  protect::CleaningPolicy cleaning_policy =
+      protect::CleaningPolicy::kWrittenBit;
+  bool inject_faults = false;
+  unsigned fault_every = 7;  ///< ops between injected single-bit faults
+  u64 seed = 1;
+  unsigned audit_every = 1;
+  /// Overrides `scheme` when set (broken test fixtures).
+  std::function<std::unique_ptr<protect::ProtectionScheme>(cache::Cache&)>
+      scheme_factory;
+  std::string label;  ///< report name; defaults to the scheme name
+
+  std::string scheme_label() const;
+};
+
+struct CheckFailure {
+  std::size_t op_index = 0;  ///< op after which the failure surfaced
+  std::string kind;          ///< "invariant" or "divergence"
+  std::string detail;
+};
+
+struct RunReport {
+  bool ok = true;
+  std::optional<CheckFailure> failure;
+  u64 ops_run = 0;
+  u64 audits = 0;
+  u64 faults_injected = 0;
+  u64 wb[protect::kNumWbCauses] = {0, 0, 0};
+  u64 ecc_entry_evictions = 0;  ///< shared scheme only
+  cache::CacheStats cache;
+};
+
+/// Execute one op sequence under full checking.
+RunReport run_sequence(const ModelCheckConfig& config,
+                       std::span<const Op> ops);
+
+/// Seeded-random op mix over the configured universe.
+std::vector<Op> random_ops(const ModelCheckConfig& config, u64 seed,
+                           std::size_t count);
+
+/// Greedily remove ops while the sequence keeps failing. Precondition:
+/// run_sequence(config, failing) fails. Returns the minimal sequence.
+std::vector<Op> shrink(const ModelCheckConfig& config,
+                       std::vector<Op> failing);
+
+struct DiffReport {
+  bool ok = true;
+  std::string detail;
+  std::vector<RunReport> runs;  ///< uniform, non-uniform, shared
+};
+
+/// Run the same sequence through all three real schemes and cross-check
+/// scheme-independent observables: hit/miss behaviour must be identical,
+/// uniform and non-uniform must produce identical write-back traffic, and
+/// the shared scheme's ECC-eviction accounting must balance.
+DiffReport run_differential(const ModelCheckConfig& base,
+                            std::span<const Op> ops);
+
+/// All sequences of length exactly `len` over a small alphabet (reads and
+/// single-word writes over `alphabet_lines` lines, plus a time jump),
+/// checked under `config`. Returns the first failure, if any, together
+/// with the number of sequences executed.
+struct ExhaustiveReport {
+  u64 sequences = 0;
+  u64 ops = 0;
+  std::optional<std::vector<Op>> counterexample;
+};
+ExhaustiveReport exhaustive_check(const ModelCheckConfig& config,
+                                  unsigned alphabet_lines, unsigned len);
+
+}  // namespace aeep::verify

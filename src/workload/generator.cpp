@@ -76,8 +76,8 @@ Addr SyntheticWorkload::next_store_addr() {
     if (recent_count_ >= 2 && rng_.chance(profile_.region_revisit_prob)) {
       // Pick among the older recents so the revisited region has sat idle
       // for one to three activations.
-      const unsigned depth =
-          std::min<unsigned>(recent_count_, recent_regions_.size());
+      const unsigned depth = std::min(
+          recent_count_, static_cast<unsigned>(recent_regions_.size()));
       const unsigned back = 2 + static_cast<unsigned>(
                                     rng_.next_below(std::max(1u, depth - 1)));
       region_index_ =

@@ -260,6 +260,68 @@ TEST_F(SchemeTest, SharedArrayTwoEntriesAllowTwoDirty) {
   EXPECT_EQ(fw->way, 0u);
 }
 
+TEST_F(SchemeTest, SharedArrayK2EvictsOldestAllocationFirst) {
+  SharedEccArrayScheme s(cache_, 2);
+  for (unsigned w = 0; w < 4; ++w) {
+    install(1, w, 40 + w);
+    s.on_fill(1, w);
+  }
+  const auto dirty = [&](unsigned way) {
+    EXPECT_FALSE(s.before_dirty(1, way).has_value());
+    cache_.mark_dirty(1, way);
+    s.on_write_applied(1, way, 1);
+  };
+  dirty(0);
+  dirty(1);
+  // Re-dirtying the oldest owner must NOT refresh its allocation age:
+  // entry eviction is ordered by allocation, not by write recency.
+  EXPECT_FALSE(s.before_dirty(1, 0).has_value());
+  s.on_write_applied(1, 0, 1);
+  // Third dirty line: way 0 (oldest allocation) is nominated.
+  auto fw = s.before_dirty(1, 2);
+  ASSERT_TRUE(fw.has_value());
+  EXPECT_EQ(fw->way, 0u);
+  EXPECT_EQ(fw->addr, cache_.line_addr(1, 0));
+  cache_.clear_dirty(1, 0);
+  s.on_writeback(1, 0);
+  dirty(2);
+  // Fourth dirty line: the oldest remaining allocation is now way 1.
+  fw = s.before_dirty(1, 3);
+  ASSERT_TRUE(fw.has_value());
+  EXPECT_EQ(fw->way, 1u);
+  EXPECT_EQ(s.ecc_entry_evictions(), 2u);
+}
+
+TEST_F(SchemeTest, SharedArrayK2EntryMapStaysConsistent) {
+  SharedEccArrayScheme s(cache_, 2);
+  for (unsigned w = 0; w < 4; ++w) {
+    install(2, w, 50 + w);
+    s.on_fill(2, w);
+  }
+  for (unsigned way : {1u, 3u}) {
+    EXPECT_FALSE(s.before_dirty(2, way).has_value());
+    cache_.mark_dirty(2, way);
+    s.on_write_applied(2, way, 1);
+  }
+  // Both dirty ways own distinct entries in [0, k); clean ways own none,
+  // and each dirty way's ECC span is live.
+  EXPECT_NE(s.entry_of(2, 1), -1);
+  EXPECT_NE(s.entry_of(2, 3), -1);
+  EXPECT_NE(s.entry_of(2, 1), s.entry_of(2, 3));
+  EXPECT_LT(s.entry_of(2, 1), 2);
+  EXPECT_LT(s.entry_of(2, 3), 2);
+  EXPECT_EQ(s.entry_of(2, 0), -1);
+  EXPECT_EQ(s.entry_of(2, 2), -1);
+  EXPECT_TRUE(s.ecc_words(2, 0).empty());
+  EXPECT_FALSE(s.ecc_words(2, 1).empty());
+  // A write-back releases exactly the owner's entry.
+  cache_.clear_dirty(2, 1);
+  s.on_writeback(2, 1);
+  EXPECT_EQ(s.entry_of(2, 1), -1);
+  EXPECT_NE(s.entry_of(2, 3), -1);
+  EXPECT_EQ(s.ecc_entry_evictions(), 0u);
+}
+
 TEST_F(SchemeTest, SharedArrayDirtyLineCorrectsViaSharedEntry) {
   SharedEccArrayScheme s(cache_, 1);
   install(3, 2, 9);
@@ -397,6 +459,33 @@ TEST_F(ProtectedL2Test, EccEvictionOnSecondDirtyLineInSet) {
   EXPECT_EQ(l2.cache_model().count_dirty_in_set(set), 1u);
   const auto pb = l2.cache_model().probe(b);
   EXPECT_TRUE(l2.cache_model().meta(pb.set, pb.way).dirty);
+}
+
+TEST_F(ProtectedL2Test, EccEvictionAccountingWithTwoEntries) {
+  auto cfg = small_config(SchemeKind::kSharedEccArray);
+  cfg.ecc_entries_per_set = 2;
+  ProtectedL2 l2(cfg, bus_, memory_);
+  const u64 set = 5;
+  const Addr a = cfg.geometry.addr_of(1, set);
+  const Addr b = cfg.geometry.addr_of(2, set);
+  const Addr c = cfg.geometry.addr_of(3, set);
+  l2.write(0, a, ~u64{0}, line_of(0xA));
+  l2.write(100, b, ~u64{0}, line_of(0xB));
+  // Two entries hold two dirty lines without any forced traffic.
+  EXPECT_EQ(l2.wb_count(WbCause::kEccEviction), 0u);
+  EXPECT_EQ(l2.cache_model().count_dirty_in_set(set), 2u);
+  // The third dirty line evicts the oldest allocation (line a).
+  l2.write(200, c, ~u64{0}, line_of(0xC));
+  EXPECT_EQ(l2.wb_count(WbCause::kEccEviction), 1u);
+  EXPECT_EQ(l2.cache_model().count_dirty_in_set(set), 2u);
+  EXPECT_EQ(memory_.read_word(a), 0xAu);
+  const auto pa = l2.cache_model().probe(a);
+  ASSERT_TRUE(pa.hit);
+  EXPECT_FALSE(l2.cache_model().meta(pa.set, pa.way).dirty);
+  // §3.3 accounting: forced ECC-WBs equal the scheme's entry evictions.
+  auto* shared = dynamic_cast<SharedEccArrayScheme*>(&l2.scheme());
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(l2.wb_count(WbCause::kEccEviction), shared->ecc_entry_evictions());
 }
 
 TEST_F(ProtectedL2Test, SharedArrayInvariantUnderChurn) {

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Repo-specific lint gate (runs in CI; no compiler needed).
+#
+# Three rules, each born from a real bug class in this codebase:
+#
+#  1. No raw rand()/srand(): all stochastic behaviour must flow from the
+#     seeded Xorshift64Star so every run is exactly reproducible.
+#  2. No unchecked `).value()` on optionals: dereference with a checked
+#     pattern (`if (auto v = ...)`) instead. The stats-registry Counter
+#     accessor (`reg.counter("...").value()`) is explicitly exempt — it
+#     returns a plain integer, not an optional.
+#  3. Every header that declares a `struct ...Stats` must also declare a
+#     reset path (`reset_stats` / `reset_metrics`, or expose a non-const
+#     `...Stats& stats()` accessor) so warm-up resets cannot silently skip
+#     it. This is the rule that would have caught the Scrubber stats
+#     surviving reset_metrics.
+set -u
+cd "$(dirname "$0")/.."
+
+SOURCES=(src tools tests bench examples)
+CXX_GLOBS=(--include='*.cpp' --include='*.hpp')
+fail=0
+
+report() {
+  echo "lint: $1"
+  shift
+  printf '%s\n' "$@" | sed 's/^/  /'
+  fail=1
+}
+
+# --- Rule 1: raw C PRNG ----------------------------------------------------
+hits=$(grep -rnE '\b(s?rand)\(' "${SOURCES[@]}" "${CXX_GLOBS[@]}" || true)
+if [[ -n "$hits" ]]; then
+  report "raw rand()/srand() is banned; use a seeded Xorshift64Star" "$hits"
+fi
+
+# --- Rule 2: unchecked optional::value() -----------------------------------
+hits=$(grep -rnE '\)\.value\(\)' "${SOURCES[@]}" "${CXX_GLOBS[@]}" \
+         | grep -vE 'counter\(|gauge\(' || true)
+if [[ -n "$hits" ]]; then
+  report "unchecked ).value() is banned; test the optional first" "$hits"
+fi
+
+# --- Rule 3: stats structs need a reset path -------------------------------
+while IFS= read -r header; do
+  if ! grep -qE 'reset_stats|reset_metrics|^[[:space:]]*[A-Za-z_]*Stats& stats\(\)' \
+       "$header"; then
+    report "stats struct without a reset path (warm-up would leak into it)" \
+           "$header: declares a ...Stats struct but neither reset_stats()," \
+           "reset_metrics() nor a non-const ...Stats& stats() accessor"
+  fi
+done < <(grep -rlE 'struct [A-Za-z_]*Stats\b' src --include='*.hpp')
+
+if [[ $fail -eq 0 ]]; then
+  echo "lint: all rules pass"
+fi
+exit $fail
