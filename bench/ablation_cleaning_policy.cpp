@@ -4,8 +4,10 @@
 // write-back on an idle bus (Lee et al., cited as related work). Shows the
 // dirty%-vs-traffic frontier each policy reaches.
 //
-//   ablation_cleaning_policy [--interval=1M] [--suite=all] ...
+//   ablation_cleaning_policy [--interval=1M] [--suite=all]
+//                            [--jobs=N] [--json=out.json] ...
 #include "bench_util.hpp"
+#include "json_reporter.hpp"
 
 using namespace aeep;
 
@@ -18,23 +20,31 @@ int main(int argc, char** argv) {
   std::printf("cleaning interval: %s cycles\n\n",
               bench::interval_label(interval).c_str());
 
+  const unsigned jobs = bench::resolve_jobs(opt);
+  bench::JsonReporter json("ablation_cleaning_policy", opt, jobs);
+  json.set_config("interval", JsonValue::number(interval));
+
   struct Policy {
     protect::CleaningPolicy kind;
     unsigned decay_threshold;
+    std::string label;
   };
-  const std::vector<Policy> policies = {
-      {protect::CleaningPolicy::kWrittenBit, 2},
-      {protect::CleaningPolicy::kNaive, 2},
-      {protect::CleaningPolicy::kDecayCounter, 2},
-      {protect::CleaningPolicy::kDecayCounter, 4},
-      {protect::CleaningPolicy::kEagerIdle, 2},
+  std::vector<Policy> policies = {
+      {protect::CleaningPolicy::kWrittenBit, 2, ""},
+      {protect::CleaningPolicy::kNaive, 2, ""},
+      {protect::CleaningPolicy::kDecayCounter, 2, ""},
+      {protect::CleaningPolicy::kDecayCounter, 4, ""},
+      {protect::CleaningPolicy::kEagerIdle, 2, ""},
   };
+  for (auto& pol : policies) {
+    pol.label = to_string(pol.kind);
+    if (pol.kind == protect::CleaningPolicy::kDecayCounter)
+      pol.label += "(t=" + std::to_string(pol.decay_threshold) + ")";
+  }
 
-  TextTable table({"policy", "avg dirty%", "Clean-WB/ls", "total WB/ls",
-                   "avg IPC"});
   const auto benchmarks = bench::suite_benchmarks(opt.suite);
+  std::vector<sim::SweepJob> grid;
   for (const auto& pol : policies) {
-    double dirty = 0, cleanwb = 0, total = 0, ipc = 0;
     for (const auto& name : benchmarks) {
       sim::ExperimentOptions eo;
       eo.scheme = protect::SchemeKind::kNonUniform;
@@ -44,18 +54,28 @@ int main(int argc, char** argv) {
       eo.instructions = opt.instructions;
       eo.warmup_instructions = opt.warmup;
       eo.seed = opt.seed;
-      const sim::RunResult r = sim::run_benchmark(name, eo);
+      grid.push_back({name, eo, pol.label});
+    }
+  }
+  const std::vector<sim::RunResult> results =
+      sim::SweepRunner(jobs).run_or_throw(grid, sim::stderr_progress());
+
+  TextTable table({"policy", "avg dirty%", "Clean-WB/ls", "total WB/ls",
+                   "avg IPC"});
+  const double n = static_cast<double>(benchmarks.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    double dirty = 0, cleanwb = 0, total = 0, ipc = 0;
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+      const sim::RunResult& r = results[p * benchmarks.size() + b];
       dirty += r.avg_dirty_fraction;
       const double ls = static_cast<double>(r.core.loads_stores());
       cleanwb += ls ? static_cast<double>(r.wb_cleaning) / ls : 0.0;
       total += r.wb_per_ls();
       ipc += r.ipc();
+      json.add_cell(benchmarks[b], policies[p].label,
+                    bench::run_result_metrics(r));
     }
-    const double n = static_cast<double>(benchmarks.size());
-    std::string label = to_string(pol.kind);
-    if (pol.kind == protect::CleaningPolicy::kDecayCounter)
-      label += "(t=" + std::to_string(pol.decay_threshold) + ")";
-    table.add_row({label, TextTable::pct(dirty / n, 1),
+    table.add_row({policies[p].label, TextTable::pct(dirty / n, 1),
                    TextTable::pct(cleanwb / n, 2), TextTable::pct(total / n, 2),
                    TextTable::fmt(ipc / n, 3)});
   }
@@ -63,5 +83,5 @@ int main(int argc, char** argv) {
   std::printf("\nwritten-bit is the paper's 1-bit decay counter: nearly the"
               " dirty reduction of naive cleaning\nwith less premature"
               " traffic; higher decay thresholds trade dirty%% for traffic.\n");
-  return 0;
+  return json.write(opt.json_path) ? 0 : 1;
 }

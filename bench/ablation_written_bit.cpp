@@ -4,8 +4,10 @@
 // The written bit should achieve nearly the same dirty-line reduction with
 // markedly less premature write-back traffic on rewrite-heavy workloads.
 //
-//   ablation_written_bit [--interval=1M] [--suite=all] ...
+//   ablation_written_bit [--interval=1M] [--suite=all]
+//                        [--jobs=N] [--json=out.json] ...
 #include "bench_util.hpp"
+#include "json_reporter.hpp"
 
 using namespace aeep;
 
@@ -19,10 +21,12 @@ int main(int argc, char** argv) {
   std::printf("cleaning interval: %s cycles\n\n",
               bench::interval_label(interval).c_str());
 
-  TextTable table({"benchmark", "dirty% written-bit", "dirty% naive",
-                   "WB/ls written-bit", "WB/ls naive"});
-  double sd_wb = 0, sd_nv = 0, st_wb = 0, st_nv = 0;
+  const unsigned jobs = bench::resolve_jobs(opt);
+  bench::JsonReporter json("ablation_written_bit", opt, jobs);
+  json.set_config("interval", JsonValue::number(interval));
+
   const auto benchmarks = bench::suite_benchmarks(opt.suite);
+  std::vector<sim::SweepJob> grid;
   for (const auto& name : benchmarks) {
     sim::ExperimentOptions eo;
     eo.scheme = protect::SchemeKind::kNonUniform;
@@ -32,18 +36,30 @@ int main(int argc, char** argv) {
     eo.seed = opt.seed;
 
     eo.cleaning_policy = protect::CleaningPolicy::kWrittenBit;
-    const sim::RunResult with_bit = sim::run_benchmark(name, eo);
+    grid.push_back({name, eo, "written-bit"});
     eo.cleaning_policy = protect::CleaningPolicy::kNaive;
-    const sim::RunResult naive = sim::run_benchmark(name, eo);
+    grid.push_back({name, eo, "naive"});
+  }
+  const std::vector<sim::RunResult> results =
+      sim::SweepRunner(jobs).run_or_throw(grid, sim::stderr_progress());
 
+  TextTable table({"benchmark", "dirty% written-bit", "dirty% naive",
+                   "WB/ls written-bit", "WB/ls naive"});
+  double sd_wb = 0, sd_nv = 0, st_wb = 0, st_nv = 0;
+  for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+    const sim::RunResult& with_bit = results[2 * i];
+    const sim::RunResult& naive = results[2 * i + 1];
     sd_wb += with_bit.avg_dirty_fraction;
     sd_nv += naive.avg_dirty_fraction;
     st_wb += with_bit.wb_per_ls();
     st_nv += naive.wb_per_ls();
-    table.add_row({name, TextTable::pct(with_bit.avg_dirty_fraction, 1),
+    table.add_row({benchmarks[i], TextTable::pct(with_bit.avg_dirty_fraction, 1),
                    TextTable::pct(naive.avg_dirty_fraction, 1),
                    TextTable::pct(with_bit.wb_per_ls(), 2),
                    TextTable::pct(naive.wb_per_ls(), 2)});
+    json.add_cell(benchmarks[i], "written-bit",
+                  bench::run_result_metrics(with_bit));
+    json.add_cell(benchmarks[i], "naive", bench::run_result_metrics(naive));
   }
   const double n = static_cast<double>(benchmarks.size());
   table.add_row({"average", TextTable::pct(sd_wb / n, 1),
@@ -52,5 +68,5 @@ int main(int argc, char** argv) {
   std::printf("%s", table.render().c_str());
   std::printf("\nexpected: similar dirty%% but naive cleaning pays more"
               " write-back traffic on rewrite-heavy codes.\n");
-  return 0;
+  return json.write(opt.json_path) ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 
 namespace aeep::bench {
 
@@ -17,7 +18,9 @@ struct CommonOptions {
   u64 instructions = 2'000'000;
   u64 warmup = 2'000'000;
   u64 seed = 42;
-  std::string suite = "all";  ///< all | fp | int
+  std::string suite = "all";  ///< all | fp | int | smoke
+  unsigned jobs = 0;          ///< sweep workers; 0 = hardware concurrency
+  std::string json_path;      ///< --json=<path>: machine-readable results
 };
 
 inline CommonOptions parse_common(const CliArgs& args) {
@@ -26,12 +29,26 @@ inline CommonOptions parse_common(const CliArgs& args) {
   o.warmup = args.get_u64("warmup", o.warmup);
   o.seed = args.get_u64("seed", o.seed);
   o.suite = args.get("suite", o.suite);
+  o.jobs = static_cast<unsigned>(args.get_u64("jobs", o.jobs));
+  o.json_path = args.get("json", o.json_path);
   return o;
+}
+
+/// Worker count a bench should hand to SweepRunner: --jobs when given,
+/// otherwise one per hardware thread.
+inline unsigned resolve_jobs(const CommonOptions& o) {
+  return o.jobs == 0 ? sim::SweepRunner::default_jobs() : o.jobs;
 }
 
 inline std::vector<std::string> suite_benchmarks(const std::string& suite) {
   if (suite == "fp") return sim::fp_benchmarks();
   if (suite == "int") return sim::int_benchmarks();
+  if (suite == "smoke") return sim::smoke_benchmarks();
+  if (suite != "all") {
+    std::fprintf(stderr, "unknown --suite=%s (all | fp | int | smoke)\n",
+                 suite.c_str());
+    std::exit(2);
+  }
   return sim::all_benchmarks();
 }
 
@@ -40,6 +57,8 @@ inline void reject_unknown_flags(const CliArgs& args) {
   if (!unused.empty()) {
     std::fprintf(stderr, "unknown flag(s):");
     for (const auto& k : unused) std::fprintf(stderr, " --%s", k.c_str());
+    std::fprintf(stderr, "\naccepted flags:");
+    for (const auto& k : args.queried()) std::fprintf(stderr, " --%s", k.c_str());
     std::fprintf(stderr, "\n");
     std::exit(2);
   }
@@ -48,10 +67,11 @@ inline void reject_unknown_flags(const CliArgs& args) {
 inline void print_header(const char* experiment, const CommonOptions& o) {
   std::printf("=== %s ===\n", experiment);
   std::printf("machine: Table-1 four-issue OoO, 1MB 4-way 64B write-back L2\n");
-  std::printf("run: %llu committed micro-ops after %llu warm-up, seed %llu\n\n",
+  std::printf("run: %llu committed micro-ops after %llu warm-up, seed %llu\n",
               static_cast<unsigned long long>(o.instructions),
               static_cast<unsigned long long>(o.warmup),
               static_cast<unsigned long long>(o.seed));
+  std::printf("sweep workers: %u\n\n", resolve_jobs(o));
 }
 
 /// The paper's cleaning-interval ladder: 64K to 4M cycles, x4 steps.

@@ -5,8 +5,10 @@
 // dirty-heavy benchmarks (apsi, mesa, gap, parser) collapse because ECC
 // entry evictions clean them.
 //
-//   fig7_dirty_full_scheme [--instructions=2M] [--interval=1M] ...
+//   fig7_dirty_full_scheme [--instructions=2M] [--interval=1M]
+//                          [--jobs=N] [--json=out.json] ...
 #include "bench_util.hpp"
+#include "json_reporter.hpp"
 
 using namespace aeep;
 
@@ -18,34 +20,48 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 7: dirty lines per cycle, full proposed scheme",
                       opt);
 
-  TextTable table({"benchmark", "suite", "baseline dirty", "proposed dirty",
-                   "peak dirty lines"});
-  double sum = 0.0;
+  const unsigned jobs = bench::resolve_jobs(opt);
+  bench::JsonReporter json("fig7_dirty_full_scheme", opt, jobs);
+  json.set_config("interval", JsonValue::number(interval));
+
+  // Two cells per benchmark: conventional baseline and the full scheme.
   const auto benchmarks = bench::suite_benchmarks(opt.suite);
+  std::vector<sim::SweepJob> grid;
   for (const auto& name : benchmarks) {
     sim::ExperimentOptions base;
     base.scheme = protect::SchemeKind::kUniformEcc;
     base.instructions = opt.instructions;
     base.warmup_instructions = opt.warmup;
     base.seed = opt.seed;
-    const sim::RunResult b = sim::run_benchmark(name, base);
+    grid.push_back({name, base, "baseline"});
 
     sim::ExperimentOptions ours = base;
     ours.scheme = protect::SchemeKind::kSharedEccArray;
     ours.ecc_entries_per_set = 1;
     ours.cleaning_interval = interval;
-    const sim::RunResult r = sim::run_benchmark(name, ours);
+    grid.push_back({name, ours, "proposed"});
+  }
+  const std::vector<sim::RunResult> results =
+      sim::SweepRunner(jobs).run_or_throw(grid, sim::stderr_progress());
 
+  TextTable table({"benchmark", "suite", "baseline dirty", "proposed dirty",
+                   "peak dirty lines"});
+  double sum = 0.0;
+  for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+    const sim::RunResult& b = results[2 * i];
+    const sim::RunResult& r = results[2 * i + 1];
     sum += r.avg_dirty_fraction;
-    table.add_row({name, r.floating_point ? "fp" : "int",
+    table.add_row({benchmarks[i], r.floating_point ? "fp" : "int",
                    TextTable::pct(b.avg_dirty_fraction, 1),
                    TextTable::pct(r.avg_dirty_fraction, 1),
                    std::to_string(r.peak_dirty_lines)});
+    json.add_cell(benchmarks[i], "baseline", bench::run_result_metrics(b));
+    json.add_cell(benchmarks[i], "proposed", bench::run_result_metrics(r));
   }
   std::printf("%s", table.render().c_str());
   std::printf("\naverage proposed dirty: %s   (paper: below 25%% everywhere;"
               " 4K-line hard cap = 25%%)\n",
               TextTable::pct(sum / static_cast<double>(benchmarks.size()), 1)
                   .c_str());
-  return 0;
+  return json.write(opt.json_path) ? 0 : 1;
 }

@@ -4,8 +4,10 @@
 // ECC-WB dominates; totals average 1.20% (FP) and 1.19% (INT) vs the
 // original 1.08% / 1.12% — a small increase.
 //
-//   fig8_wb_breakdown [--instructions=2M] [--interval=1M] ...
+//   fig8_wb_breakdown [--instructions=2M] [--interval=1M]
+//                     [--jobs=N] [--json=out.json] ...
 #include "bench_util.hpp"
+#include "json_reporter.hpp"
 
 using namespace aeep;
 
@@ -17,36 +19,49 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 8: write-back breakdown, full proposed scheme",
                       opt);
 
-  TextTable table({"benchmark", "suite", "Clean-WB", "WB", "ECC-WB", "total",
-                   "org total"});
-  double sum_total = 0.0, sum_org = 0.0;
+  const unsigned jobs = bench::resolve_jobs(opt);
+  bench::JsonReporter json("fig8_wb_breakdown", opt, jobs);
+  json.set_config("interval", JsonValue::number(interval));
+
   const auto benchmarks = bench::suite_benchmarks(opt.suite);
+  std::vector<sim::SweepJob> grid;
   for (const auto& name : benchmarks) {
     sim::ExperimentOptions org;
     org.scheme = protect::SchemeKind::kUniformEcc;
     org.instructions = opt.instructions;
     org.warmup_instructions = opt.warmup;
     org.seed = opt.seed;
-    const sim::RunResult o = sim::run_benchmark(name, org);
+    grid.push_back({name, org, "org"});
 
     sim::ExperimentOptions ours = org;
     ours.scheme = protect::SchemeKind::kSharedEccArray;
     ours.ecc_entries_per_set = 1;
     ours.cleaning_interval = interval;
-    const sim::RunResult r = sim::run_benchmark(name, ours);
+    grid.push_back({name, ours, "proposed"});
+  }
+  const std::vector<sim::RunResult> results =
+      sim::SweepRunner(jobs).run_or_throw(grid, sim::stderr_progress());
 
+  TextTable table({"benchmark", "suite", "Clean-WB", "WB", "ECC-WB", "total",
+                   "org total"});
+  double sum_total = 0.0, sum_org = 0.0;
+  for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+    const sim::RunResult& o = results[2 * i];
+    const sim::RunResult& r = results[2 * i + 1];
     const double ls = static_cast<double>(r.core.loads_stores());
     auto pct_of_ls = [&](u64 n) {
       return ls ? static_cast<double>(n) / ls : 0.0;
     };
     sum_total += r.wb_per_ls();
     sum_org += o.wb_per_ls();
-    table.add_row({name, r.floating_point ? "fp" : "int",
+    table.add_row({benchmarks[i], r.floating_point ? "fp" : "int",
                    TextTable::pct(pct_of_ls(r.wb_cleaning), 2),
                    TextTable::pct(pct_of_ls(r.wb_replacement), 2),
                    TextTable::pct(pct_of_ls(r.wb_ecc), 2),
                    TextTable::pct(r.wb_per_ls(), 2),
                    TextTable::pct(o.wb_per_ls(), 2)});
+    json.add_cell(benchmarks[i], "org", bench::run_result_metrics(o));
+    json.add_cell(benchmarks[i], "proposed", bench::run_result_metrics(r));
   }
   std::printf("%s", table.render().c_str());
   const double n = static_cast<double>(benchmarks.size());
@@ -54,5 +69,5 @@ int main(int argc, char** argv) {
               " 1.08%%/1.12%%; ECC-WB dominates)\n",
               TextTable::pct(sum_total / n, 2).c_str(),
               TextTable::pct(sum_org / n, 2).c_str());
-  return 0;
+  return json.write(opt.json_path) ? 0 : 1;
 }

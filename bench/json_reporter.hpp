@@ -1,0 +1,135 @@
+// Machine-readable results for the figure benches (--json=<path>).
+//
+// Every bench that accepts the common options can hand its per-cell metrics
+// to a JsonReporter and get a stable, diffable JSON file: insertion-ordered
+// keys, a fixed top-level schema, and one "cells" entry per (benchmark, tag)
+// pair. CI diffs the key structure of a fresh smoke run against the
+// committed BENCH_sweep.json to catch schema drift.
+//
+// Schema (version 1):
+//   {
+//     "schema_version": 1,
+//     "experiment":     "<bench name>",
+//     "git_rev":        "<short rev or 'unknown'>",
+//     "jobs":           <worker count used>,
+//     "wall_clock_seconds": <double>,
+//     "config":         { instructions, warmup, seed, suite, ... },
+//     "cells": [ { "benchmark": ..., "tag": ..., "metrics": {...} }, ... ]
+//   }
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "sim/system.hpp"
+
+namespace aeep::bench {
+
+/// Best-effort short git revision; "unknown" outside a work tree.
+inline std::string git_short_rev() {
+  std::string rev = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+  if (FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof(buf), p)) {
+      std::string s(buf);
+      while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+      if (!s.empty()) rev = s;
+    }
+    ::pclose(p);
+  }
+#endif
+  return rev;
+}
+
+/// The per-run metrics every bench exports, in one stable key order.
+inline JsonValue run_result_metrics(const sim::RunResult& r) {
+  JsonValue m = JsonValue::object();
+  m.set("ipc", JsonValue::number(r.ipc()));
+  m.set("committed", JsonValue::number(r.core.committed));
+  m.set("cycles", JsonValue::number(r.core.cycles));
+  m.set("avg_dirty_fraction", JsonValue::number(r.avg_dirty_fraction));
+  m.set("avg_dirty_lines", JsonValue::number(r.avg_dirty_lines));
+  m.set("peak_dirty_lines", JsonValue::number(r.peak_dirty_lines));
+  m.set("wb_replacement", JsonValue::number(r.wb_replacement));
+  m.set("wb_cleaning", JsonValue::number(r.wb_cleaning));
+  m.set("wb_ecc", JsonValue::number(r.wb_ecc));
+  m.set("wb_total", JsonValue::number(r.wb_total()));
+  m.set("wb_per_kls",
+        JsonValue::number(r.wb_per_ls() * 1000.0));
+  m.set("l2_accesses", JsonValue::number(r.l2.accesses()));
+  m.set("l2_misses", JsonValue::number(r.l2.misses()));
+  m.set("bus_bytes_written", JsonValue::number(r.bus.bytes_written));
+  return m;
+}
+
+/// Accumulates one bench invocation's results and writes the --json file.
+class JsonReporter {
+ public:
+  JsonReporter(std::string experiment, const CommonOptions& o, unsigned jobs) {
+    root_ = JsonValue::object();
+    root_.set("schema_version", JsonValue::number(u64{1}));
+    root_.set("experiment", JsonValue::string(std::move(experiment)));
+    root_.set("git_rev", JsonValue::string(git_short_rev()));
+    root_.set("jobs", JsonValue::number(u64{jobs}));
+    root_.set("wall_clock_seconds", JsonValue::number(0.0));
+    JsonValue config = JsonValue::object();
+    config.set("instructions", JsonValue::number(o.instructions));
+    config.set("warmup", JsonValue::number(o.warmup));
+    config.set("seed", JsonValue::number(o.seed));
+    config.set("suite", JsonValue::string(o.suite));
+    root_.set("config", std::move(config));
+    root_.set("cells", JsonValue::array());
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  /// Add a bench-specific configuration key (sweep axis values etc.).
+  void set_config(const std::string& key, JsonValue v) {
+    root_.find("config")->set(key, std::move(v));
+  }
+
+  /// Record one result cell.
+  void add_cell(const std::string& benchmark, const std::string& tag,
+                JsonValue metrics) {
+    JsonValue cell = JsonValue::object();
+    cell.set("benchmark", JsonValue::string(benchmark));
+    cell.set("tag", JsonValue::string(tag));
+    cell.set("metrics", std::move(metrics));
+    root_.find("cells")->push(std::move(cell));
+  }
+
+  /// Seconds since construction (the bench's wall clock).
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Stamp the wall clock and write the file; no-op when `path` is empty.
+  /// Returns false (with a message on stderr) when the file cannot be
+  /// written.
+  bool write(const std::string& path) {
+    if (path.empty()) return true;
+    root_.set("wall_clock_seconds", JsonValue::number(elapsed_seconds()));
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write --json file: %s\n", path.c_str());
+      return false;
+    }
+    const std::string text = root_.dump(2) + "\n";
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    if (ok) std::fprintf(stderr, "wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  JsonValue root_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace aeep::bench

@@ -10,36 +10,13 @@
 //
 //   online_recovery [--benchmark=gzip] [--instructions=400K] [--mbu=0.25]
 //                   [--threshold=8] [--due-policy=drop]
+//                   [--jobs=N] [--json=out.json]
 #include "bench_util.hpp"
+#include "json_reporter.hpp"
 
 using namespace aeep;
 
 namespace {
-
-struct Row {
-  double rate_scale;
-  sim::RunResult result;
-};
-
-Row run_once(const std::string& bench_name, protect::SchemeKind scheme,
-             double rate_scale, double mbu, unsigned threshold,
-             protect::DuePolicy policy, const bench::CommonOptions& opt) {
-  sim::ExperimentOptions eo;
-  eo.scheme = scheme;
-  eo.instructions = opt.instructions;
-  eo.warmup_instructions = 0;  // strike stats accumulate from cycle 0
-  eo.seed = opt.seed;
-  eo.cleaning_interval = u64{1} << 18;
-  eo.strikes_enabled = rate_scale > 0.0;
-  eo.strike_rate_scale = rate_scale;
-  eo.strike_double_bit_fraction = mbu;
-  eo.retirement_threshold = threshold;
-  eo.due_policy = policy;
-  Row row;
-  row.rate_scale = rate_scale;
-  row.result = sim::run_benchmark(bench_name, eo);
-  return row;
-}
 
 std::string rate_label(double scale) {
   if (scale <= 0.0) return "off";
@@ -70,6 +47,13 @@ int main(int argc, char** argv) {
               "DUE policy %s\n\n",
               bench_name.c_str(), mbu, threshold, to_string(policy));
 
+  const unsigned jobs = bench::resolve_jobs(opt);
+  bench::JsonReporter json("online_recovery", opt, jobs);
+  json.set_config("benchmark", JsonValue::string(bench_name));
+  json.set_config("mbu", JsonValue::number(mbu));
+  json.set_config("threshold", JsonValue::number(u64{threshold}));
+  json.set_config("due_policy", JsonValue::string(to_string(policy)));
+
   const std::vector<double> ladder = {0.0, 5e8, 2e9, 8e9};
   const std::vector<std::pair<protect::SchemeKind, const char*>> schemes = {
       {protect::SchemeKind::kUniformEcc, "uniform-ecc"},
@@ -77,29 +61,52 @@ int main(int argc, char** argv) {
       {protect::SchemeKind::kSharedEccArray, "shared-ecc"},
   };
 
+  std::vector<sim::SweepJob> grid;
+  for (const auto& [scheme, name] : schemes) {
+    for (double scale : ladder) {
+      sim::ExperimentOptions eo;
+      eo.scheme = scheme;
+      eo.instructions = opt.instructions;
+      eo.warmup_instructions = 0;  // strike stats accumulate from cycle 0
+      eo.seed = opt.seed;
+      eo.cleaning_interval = u64{1} << 18;
+      eo.strikes_enabled = scale > 0.0;
+      eo.strike_rate_scale = scale;
+      eo.strike_double_bit_fraction = mbu;
+      eo.retirement_threshold = threshold;
+      eo.due_policy = policy;
+      grid.push_back(
+          {bench_name, eo, std::string(name) + "@" + rate_label(scale)});
+    }
+  }
+  const std::vector<sim::RunResult> results =
+      sim::SweepRunner(jobs).run_or_throw(grid, sim::stderr_progress());
+
   TextTable t({"scheme", "rate", "IPC", "dIPC%", "corr", "refetch", "DUE",
                "dropped", "retired", "stall-cyc"});
-  for (const auto& [scheme, name] : schemes) {
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
     double base_ipc = 0.0;
-    for (double scale : ladder) {
-      const Row row =
-          run_once(bench_name, scheme, scale, mbu, threshold, policy, opt);
-      const double ipc = row.result.ipc();
+    for (std::size_t l = 0; l < ladder.size(); ++l) {
+      const sim::RunResult& r = results[s * ladder.size() + l];
+      const double scale = ladder[l];
+      const double ipc = r.ipc();
       if (scale == 0.0) base_ipc = ipc;
       const double dipc =
           base_ipc > 0.0 ? 100.0 * (ipc - base_ipc) / base_ipc : 0.0;
-      const auto& rec = row.result.recovery;
-      t.add_row({name, rate_label(scale), TextTable::fmt(ipc, 3),
+      const auto& rec = r.recovery;
+      t.add_row({schemes[s].second, rate_label(scale), TextTable::fmt(ipc, 3),
                  TextTable::fmt(dipc, 2), std::to_string(rec.corrected),
                  std::to_string(rec.refetched), std::to_string(rec.due_events),
                  std::to_string(rec.lines_dropped),
-                 std::to_string(row.result.retired_ways),
+                 std::to_string(r.retired_ways),
                  std::to_string(rec.stall_cycles)});
+      json.add_cell(bench_name, grid[s * ladder.size() + l].tag,
+                    bench::run_result_metrics(r));
     }
   }
   std::printf("%s\n", t.render().c_str());
   std::printf("dIPC%% is relative to the same scheme with strikes off; the\n"
               "loss combines recovery stalls, re-fetch bus traffic, and the\n"
               "misses added by dropped lines and retired capacity.\n");
-  return 0;
+  return json.write(opt.json_path) ? 0 : 1;
 }

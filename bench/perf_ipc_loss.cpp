@@ -3,8 +3,10 @@
 // the extra write-back traffic on the split-transaction bus. The paper
 // reports 0.14% (FP) and 0.65% (INT) average loss.
 //
-//   perf_ipc_loss [--instructions=2M] [--interval=1M] ...
+//   perf_ipc_loss [--instructions=2M] [--interval=1M]
+//                 [--jobs=N] [--json=out.json] ...
 #include "bench_util.hpp"
+#include "json_reporter.hpp"
 
 using namespace aeep;
 
@@ -15,23 +17,35 @@ int main(int argc, char** argv) {
   bench::reject_unknown_flags(args);
   bench::print_header("§5.2: IPC loss of the proposed scheme", opt);
 
-  TextTable table({"benchmark", "suite", "IPC org", "IPC proposed", "loss"});
-  double fp_loss = 0.0, int_loss = 0.0;
-  unsigned fp_n = 0, int_n = 0;
-  for (const auto& name : bench::suite_benchmarks(opt.suite)) {
+  const unsigned jobs = bench::resolve_jobs(opt);
+  bench::JsonReporter json("perf_ipc_loss", opt, jobs);
+  json.set_config("interval", JsonValue::number(interval));
+
+  const auto benchmarks = bench::suite_benchmarks(opt.suite);
+  std::vector<sim::SweepJob> grid;
+  for (const auto& name : benchmarks) {
     sim::ExperimentOptions org;
     org.scheme = protect::SchemeKind::kUniformEcc;
     org.instructions = opt.instructions;
     org.warmup_instructions = opt.warmup;
     org.seed = opt.seed;
-    const sim::RunResult o = sim::run_benchmark(name, org);
+    grid.push_back({name, org, "org"});
 
     sim::ExperimentOptions ours = org;
     ours.scheme = protect::SchemeKind::kSharedEccArray;
     ours.ecc_entries_per_set = 1;
     ours.cleaning_interval = interval;
-    const sim::RunResult r = sim::run_benchmark(name, ours);
+    grid.push_back({name, ours, "proposed"});
+  }
+  const std::vector<sim::RunResult> results =
+      sim::SweepRunner(jobs).run_or_throw(grid, sim::stderr_progress());
 
+  TextTable table({"benchmark", "suite", "IPC org", "IPC proposed", "loss"});
+  double fp_loss = 0.0, int_loss = 0.0;
+  unsigned fp_n = 0, int_n = 0;
+  for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+    const sim::RunResult& o = results[2 * i];
+    const sim::RunResult& r = results[2 * i + 1];
     const double loss = (o.ipc() - r.ipc()) / o.ipc();
     if (r.floating_point) {
       fp_loss += loss;
@@ -40,9 +54,11 @@ int main(int argc, char** argv) {
       int_loss += loss;
       ++int_n;
     }
-    table.add_row({name, r.floating_point ? "fp" : "int",
+    table.add_row({benchmarks[i], r.floating_point ? "fp" : "int",
                    TextTable::fmt(o.ipc(), 3), TextTable::fmt(r.ipc(), 3),
                    TextTable::pct(loss, 2)});
+    json.add_cell(benchmarks[i], "org", bench::run_result_metrics(o));
+    json.add_cell(benchmarks[i], "proposed", bench::run_result_metrics(r));
   }
   std::printf("%s", table.render().c_str());
   if (fp_n)
@@ -52,5 +68,5 @@ int main(int argc, char** argv) {
     std::printf("\naverage INT loss: %s  (paper: 0.65%%)",
                 TextTable::pct(int_loss / int_n, 2).c_str());
   std::printf("\n");
-  return 0;
+  return json.write(opt.json_path) ? 0 : 1;
 }

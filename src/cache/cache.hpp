@@ -54,6 +54,8 @@ struct CacheStats {
 
   u64 accesses() const { return reads + writes; }
   u64 misses() const { return accesses() - read_hits - write_hits; }
+
+  bool operator==(const CacheStats&) const = default;
 };
 
 class Cache {

@@ -33,6 +33,10 @@ WriteBuffer::PushResult WriteBuffer::push(Addr addr, u64 value) {
   WriteBufferEntry e;
   e.line = line;
   e.word_mask = u64{1} << word;
+  if (!free_words_.empty()) {
+    e.words = std::move(free_words_.back());
+    free_words_.pop_back();
+  }
   e.words.assign(line_bytes_ / 8, 0);
   e.words[word] = value;
   fifo_.push_back(std::move(e));
@@ -50,6 +54,13 @@ WriteBufferEntry WriteBuffer::pop() {
   fifo_.pop_front();
   ++stats_.drains;
   return e;
+}
+
+void WriteBuffer::recycle(WriteBufferEntry&& e) {
+  // Keep at most one spare vector per CAM slot; anything beyond that could
+  // only accumulate if callers recycle entries they never popped.
+  if (free_words_.size() < capacity_ && e.words.capacity() >= line_bytes_ / 8)
+    free_words_.push_back(std::move(e.words));
 }
 
 void WriteBuffer::reset() {

@@ -28,6 +28,8 @@ struct WriteBufferStats {
   u64 coalesced = 0;   ///< stores merged into an existing entry
   u64 drains = 0;      ///< entries handed to L2
   u64 full_events = 0; ///< stores that found the buffer full (before retry)
+
+  bool operator==(const WriteBufferStats&) const = default;
 };
 
 class WriteBuffer {
@@ -49,6 +51,11 @@ class WriteBuffer {
   /// Remove the oldest entry after draining it to L2.
   WriteBufferEntry pop();
 
+  /// Return a drained entry's storage for reuse. Steady state then runs
+  /// with zero heap allocations: push() takes a recycled words vector when
+  /// one is available instead of allocating a fresh one.
+  void recycle(WriteBufferEntry&& e);
+
   bool full() const { return fifo_.size() >= capacity_; }
   bool empty() const { return fifo_.empty(); }
   std::size_t size() const { return fifo_.size(); }
@@ -67,6 +74,7 @@ class WriteBuffer {
   unsigned capacity_;
   unsigned line_bytes_;
   std::deque<WriteBufferEntry> fifo_;  ///< oldest first
+  std::vector<std::vector<u64>> free_words_;  ///< recycled entry storage
   WriteBufferStats stats_;
 };
 

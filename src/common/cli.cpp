@@ -64,6 +64,16 @@ bool CliArgs::get_bool(const std::string& key, bool def) const {
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
+std::vector<std::string> CliArgs::queried() const {
+  std::vector<std::string> out;
+  out.reserve(queried_.size());
+  for (const auto& [k, seen] : queried_) {
+    (void)seen;
+    out.push_back(k);
+  }
+  return out;
+}
+
 std::vector<std::string> CliArgs::unused() const {
   std::vector<std::string> out;
   for (const auto& [k, v] : kv_) {

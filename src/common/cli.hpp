@@ -26,6 +26,10 @@ class CliArgs {
   /// Keys that were supplied but never queried; benches use this to reject
   /// typos in flag names.
   std::vector<std::string> unused() const;
+  /// Keys the program has queried so far — i.e. the flags it accepts.
+  /// reject_unknown_flags() prints these so a typo's error message shows
+  /// what would have been valid.
+  std::vector<std::string> queried() const;
 
  private:
   std::map<std::string, std::string> kv_;

@@ -1,0 +1,71 @@
+// Minimal JSON document builder for machine-readable bench output.
+//
+// Deliberately tiny: only what a stable, diffable results schema needs —
+// objects with insertion-ordered keys (so two runs of the same bench emit
+// byte-comparable files), arrays, strings, bools, unsigned integers and
+// doubles. Doubles render with %.17g so every distinct value round-trips
+// and equal values serialise identically across runs.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace aeep {
+
+class JsonValue {
+ public:
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue number(u64 v);
+  static JsonValue number(double v);
+  static JsonValue string(std::string s);
+  static JsonValue array();
+  static JsonValue object();
+
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Object insert/overwrite; keeps first-insertion order. *this must be an
+  /// object (or null, which becomes one).
+  JsonValue& set(const std::string& key, JsonValue value);
+
+  /// Array append. *this must be an array (or null, which becomes one).
+  JsonValue& push(JsonValue value);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  JsonValue* find(const std::string& key) {
+    return const_cast<JsonValue*>(std::as_const(*this).find(key));
+  }
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  const std::vector<JsonValue>& elements() const { return elements_; }
+
+  /// Serialise. `indent` > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 2) const;
+
+ private:
+  enum class Kind { kNull, kBool, kUint, kDouble, kString, kArray, kObject };
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  u64 uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> elements_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// JSON string escaping (quotes not included).
+std::string json_escape(const std::string& s);
+
+}  // namespace aeep

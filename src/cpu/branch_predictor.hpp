@@ -28,6 +28,8 @@ struct BranchPredictorStats {
   double mispredict_rate() const {
     return lookups ? static_cast<double>(mispredicts()) / static_cast<double>(lookups) : 0.0;
   }
+
+  bool operator==(const BranchPredictorStats&) const = default;
 };
 
 class BranchPredictor {

@@ -52,6 +52,8 @@ struct CoreStats {
     return cycles ? static_cast<double>(committed) / static_cast<double>(cycles) : 0.0;
   }
   u64 loads_stores() const { return loads + stores; }
+
+  bool operator==(const CoreStats&) const = default;
 };
 
 class OutOfOrderCore {

@@ -22,6 +22,8 @@ struct TlbStats {
   double miss_rate() const {
     return accesses ? static_cast<double>(misses) / static_cast<double>(accesses) : 0.0;
   }
+
+  bool operator==(const TlbStats&) const = default;
 };
 
 class Tlb {

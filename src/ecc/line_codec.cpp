@@ -27,20 +27,22 @@ LineCodec::LineCodec(const WordCodec& word_codec, unsigned line_bytes)
     throw std::invalid_argument("line_bytes must be a positive multiple of 8");
 }
 
-std::vector<u64> LineCodec::encode(const std::vector<u64>& data) const {
-  assert(data.size() == words_);
-  std::vector<u64> check(words_);
-  for (unsigned w = 0; w < words_; ++w) check[w] = codec_->encode(data[w]);
-  return check;
+void LineCodec::encode(std::span<const u64> data,
+                       std::span<u64> check_out) const {
+  assert(data.size() == words_ && check_out.size() == words_);
+  for (unsigned w = 0; w < words_; ++w)
+    check_out[w] = codec_->encode(data[w]);
 }
 
-LineDecodeResult LineCodec::decode(const ProtectedLine& line) const {
-  assert(line.data.size() == words_ && line.check.size() == words_);
-  LineDecodeResult out;
-  out.data.resize(words_);
+LineDecodeSummary LineCodec::decode(std::span<const u64> data,
+                                    std::span<const u64> check,
+                                    std::span<u64> data_out) const {
+  assert(data.size() == words_ && check.size() == words_ &&
+         data_out.size() == words_);
+  LineDecodeSummary out;
   for (unsigned w = 0; w < words_; ++w) {
-    const DecodeResult r = codec_->decode(line.data[w], line.check[w]);
-    out.data[w] = r.data;
+    const DecodeResult r = codec_->decode(data[w], check[w]);
+    data_out[w] = r.data;  // on kDetected* every codec echoes the stored word
     out.worst = worse(out.worst, r.status);
     switch (r.status) {
       case DecodeStatus::kOk: ++out.words_ok; break;
@@ -49,6 +51,23 @@ LineDecodeResult LineCodec::decode(const ProtectedLine& line) const {
       case DecodeStatus::kDetectedDouble: ++out.words_detected; break;
     }
   }
+  return out;
+}
+
+std::vector<u64> LineCodec::encode_alloc(std::span<const u64> data) const {
+  std::vector<u64> check(words_);
+  encode(data, check);
+  return check;
+}
+
+LineDecodeResult LineCodec::decode_alloc(const ProtectedLine& line) const {
+  LineDecodeResult out;
+  out.data.resize(words_);
+  const LineDecodeSummary s = decode(line.data, line.check, out.data);
+  out.worst = s.worst;
+  out.words_ok = s.words_ok;
+  out.words_corrected = s.words_corrected;
+  out.words_detected = s.words_detected;
   return out;
 }
 

@@ -3,9 +3,15 @@
 // A 64-byte line is eight 64-bit words; each word carries its own check
 // bits (8b for SECDED, 1b for parity), matching how the paper counts area:
 // 64B line -> 64 ECC bits or 8 parity bits.
+//
+// Two API levels:
+//  - scratch-buffer encode/decode over std::span (the hot path: zero heap
+//    allocations — callers bring their own buffers and reuse them);
+//  - *_alloc conveniences that return freshly allocated vectors, kept for
+//    tests and one-shot callers and implemented on top of the scratch API.
 #pragma once
 
-#include <memory>
+#include <span>
 #include <vector>
 
 #include "ecc/codec.hpp"
@@ -18,12 +24,23 @@ struct ProtectedLine {
   std::vector<u64> check;   ///< one check word per data word (low bits used)
 };
 
-/// Outcome of validating a full line: the worst per-word status plus counts.
-struct LineDecodeResult {
+/// What validating a full line concluded: worst per-word status + counts.
+/// This is the allocation-free core of LineDecodeResult.
+struct LineDecodeSummary {
   DecodeStatus worst = DecodeStatus::kOk;
   unsigned words_ok = 0;
   unsigned words_corrected = 0;
   unsigned words_detected = 0;   ///< detected but not corrected
+
+  bool operator==(const LineDecodeSummary&) const = default;
+};
+
+/// Legacy allocating decode result: the summary plus a corrected copy.
+struct LineDecodeResult {
+  DecodeStatus worst = DecodeStatus::kOk;
+  unsigned words_ok = 0;
+  unsigned words_corrected = 0;
+  unsigned words_detected = 0;
   std::vector<u64> data;         ///< corrected payload
 };
 
@@ -36,11 +53,26 @@ class LineCodec {
   unsigned check_bits_per_line() const { return words_ * codec_->check_bits(); }
   const WordCodec& word_codec() const { return *codec_; }
 
-  /// Compute check words for a payload of words_per_line() words.
-  std::vector<u64> encode(const std::vector<u64>& data) const;
+  // --- Scratch-buffer hot path (no heap allocation) -----------------------
 
-  /// Validate/correct a stored line.
-  LineDecodeResult decode(const ProtectedLine& line) const;
+  /// Compute check words for `data` into caller-owned `check_out`. Both
+  /// spans must hold words_per_line() words.
+  void encode(std::span<const u64> data, std::span<u64> check_out) const;
+
+  /// Validate a stored line, writing the corrected payload into
+  /// caller-owned `data_out` (may alias `data` for in-place repair). All
+  /// spans must hold words_per_line() words.
+  LineDecodeSummary decode(std::span<const u64> data,
+                           std::span<const u64> check,
+                           std::span<u64> data_out) const;
+
+  // --- Allocating conveniences -------------------------------------------
+
+  /// Returns freshly allocated check words for a payload.
+  std::vector<u64> encode_alloc(std::span<const u64> data) const;
+
+  /// Validate/correct a stored line into a freshly allocated result.
+  LineDecodeResult decode_alloc(const ProtectedLine& line) const;
 
  private:
   const WordCodec* codec_;

@@ -25,6 +25,8 @@ struct BusStats {
   u64 bytes_written = 0;
   u64 busy_cycles = 0;        ///< cycles the data bus was occupied
   u64 queue_delay_cycles = 0; ///< total cycles transactions waited for the bus
+
+  bool operator==(const BusStats&) const = default;
 };
 
 class SplitTransactionBus {

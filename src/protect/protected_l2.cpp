@@ -68,12 +68,20 @@ ProtectedL2::ProtectedL2(const L2Config& config, mem::SplitTransactionBus& bus,
     decay_.assign(config_.geometry.total_lines(), 0);
 }
 
-void ProtectedL2::note_dirty(Cycle now) {
+void ProtectedL2::note_dirty(Cycle now, bool force) {
   // Timestamps arrive in CPU-cycle order; equal times are fine.
   if (now < last_note_) now = last_note_;
   last_note_ = now;
-  dirty_level_.update(now, static_cast<double>(cache_.dirty_count()));
-  peak_dirty_ = std::max(peak_dirty_, cache_.dirty_count());
+  const u64 dirty = cache_.dirty_count();
+  // The level is piecewise-constant, so re-recording an unchanged count is
+  // a no-op for the integral: defer it (this runs on every L2 access) and
+  // charge the whole constant segment on the next real change. The peak
+  // cannot have moved either. finalize()/reset_metrics() force a flush so
+  // the trailing segment is never lost.
+  if (!force && dirty == noted_dirty_) return;
+  noted_dirty_ = dirty;
+  dirty_level_.update(now, static_cast<double>(dirty));
+  peak_dirty_ = std::max(peak_dirty_, dirty);
 }
 
 void ProtectedL2::do_writeback(Cycle now, u64 set, unsigned way,
@@ -296,13 +304,14 @@ void ProtectedL2::tick(Cycle now) {
   if (did_work && audit_hook_) audit_hook_(now);
 }
 
-void ProtectedL2::finalize(Cycle now) { note_dirty(now); }
+void ProtectedL2::finalize(Cycle now) { note_dirty(now, /*force=*/true); }
 
 void ProtectedL2::reset_metrics(Cycle now) {
   cache_.stats() = {};
   wb_[0] = wb_[1] = wb_[2] = 0;
   last_note_ = std::max(now, last_note_);
-  dirty_level_.reset(last_note_, static_cast<double>(cache_.dirty_count()));
+  noted_dirty_ = cache_.dirty_count();
+  dirty_level_.reset(last_note_, static_cast<double>(noted_dirty_));
   peak_dirty_ = cache_.dirty_count();
   cleaning_inspections_ = 0;
   recovery_.reset_stats();

@@ -153,7 +153,10 @@ class ProtectedL2 {
   /// the scheme, and classify the traffic.
   void do_writeback(Cycle now, u64 set, unsigned way, WbCause cause);
 
-  void note_dirty(Cycle now);
+  /// Record the dirty-line count for the residency integral. Cheap no-op
+  /// when the count has not changed since the last note; `force` flushes
+  /// the pending constant segment (end of run / metric reset).
+  void note_dirty(Cycle now, bool force = false);
 
   L2Config config_;
   cache::Cache cache_;
@@ -168,6 +171,7 @@ class ProtectedL2 {
 
   Cycle port_free_ = 0;
   Cycle last_note_ = 0;
+  u64 noted_dirty_ = 0;  ///< dirty count last recorded into dirty_level_
   TimeWeightedLevel dirty_level_;
   u64 wb_[kNumWbCauses] = {0, 0, 0};
   u64 peak_dirty_ = 0;

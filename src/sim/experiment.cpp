@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "sim/sweep.hpp"
 #include "workload/profile.hpp"
 
 namespace aeep::sim {
@@ -47,11 +48,12 @@ RunResult run_benchmark(const std::string& benchmark,
 }
 
 std::vector<RunResult> run_suite(const std::vector<std::string>& benchmarks,
-                                 const ExperimentOptions& opts) {
-  std::vector<RunResult> out;
-  out.reserve(benchmarks.size());
-  for (const auto& b : benchmarks) out.push_back(run_benchmark(b, opts));
-  return out;
+                                 const ExperimentOptions& opts,
+                                 unsigned jobs) {
+  std::vector<SweepJob> grid;
+  grid.reserve(benchmarks.size());
+  for (const auto& b : benchmarks) grid.push_back({b, opts, {}});
+  return SweepRunner(jobs).run_or_throw(grid);
 }
 
 namespace {
@@ -71,6 +73,9 @@ std::vector<std::string> fp_benchmarks() {
 }
 std::vector<std::string> int_benchmarks() {
   return names_of(workload::int_profiles());
+}
+std::vector<std::string> smoke_benchmarks() {
+  return {"gzip", "mcf", "swim", "art"};
 }
 
 std::string table1_text() {

@@ -92,6 +92,7 @@ void MemoryHierarchy::drain_front(Cycle now) {
   // so charge only the hit latency as occupancy.
   wb_issue_free_ = std::max(wb_issue_free_, now) + config_.l2.hit_latency;
   (void)done;
+  wbuf_.recycle(std::move(e));
 }
 
 void MemoryHierarchy::tick(Cycle now) {

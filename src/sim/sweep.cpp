@@ -1,0 +1,141 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace aeep::sim {
+
+namespace {
+
+/// Per-worker job queue for the work-stealing pool. The owner pops from the
+/// front; thieves steal from the back, so an owner keeps the cache-warm
+/// (recently dealt) indices and thieves take the coldest work.
+struct WorkerQueue {
+  std::deque<std::size_t> jobs;
+  std::mutex mutex;
+
+  bool pop_front(std::size_t& idx) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (jobs.empty()) return false;
+    idx = jobs.front();
+    jobs.pop_front();
+    return true;
+  }
+
+  bool steal_back(std::size_t& idx) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (jobs.empty()) return false;
+    idx = jobs.back();
+    jobs.pop_back();
+    return true;
+  }
+};
+
+void execute_job(const SweepJob& job, SweepOutcome& out) {
+  try {
+    out.result = run_benchmark(job.benchmark, job.options);
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  } catch (...) {
+    out.error = "unknown exception";
+  }
+}
+
+}  // namespace
+
+unsigned SweepRunner::default_jobs() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs == 0 ? default_jobs() : jobs) {}
+
+std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepJob>& grid,
+                                           const ProgressFn& progress) const {
+  std::vector<SweepOutcome> out(grid.size());
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs_, grid.size()));
+
+  if (workers <= 1) {
+    // Inline serial path: the reference semantics parallel runs must match.
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      execute_job(grid[i], out[i]);
+      if (progress) {
+        SweepProgress p{i + 1, grid.size(), i, &grid[i], &out[i]};
+        progress(p);
+      }
+    }
+    return out;
+  }
+
+  // Deal jobs round-robin so every worker starts with a fair share; the
+  // deques + stealing absorb the (large) per-job runtime variance.
+  std::vector<WorkerQueue> queues(workers);
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    queues[i % workers].jobs.push_back(i);
+
+  std::mutex progress_mutex;
+  std::size_t completed = 0;
+  auto report = [&](std::size_t idx) {
+    const std::lock_guard<std::mutex> lock(progress_mutex);
+    ++completed;
+    if (progress) {
+      SweepProgress p{completed, grid.size(), idx, &grid[idx], &out[idx]};
+      progress(p);
+    }
+  };
+
+  auto worker_main = [&](unsigned me) {
+    std::size_t idx = 0;
+    while (true) {
+      bool got = queues[me].pop_front(idx);
+      // Own queue dry: steal from the others, starting just past ourselves
+      // so thieves spread out instead of all raiding worker 0.
+      for (unsigned k = 1; !got && k < workers; ++k)
+        got = queues[(me + k) % workers].steal_back(idx);
+      if (!got) return;
+      execute_job(grid[idx], out[idx]);
+      report(idx);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker_main, w);
+  for (auto& t : pool) t.join();
+  return out;
+}
+
+std::vector<RunResult> SweepRunner::run_or_throw(
+    const std::vector<SweepJob>& grid, const ProgressFn& progress) const {
+  std::vector<SweepOutcome> outcomes = run(grid, progress);
+  std::vector<RunResult> results;
+  results.reserve(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].ok()) {
+      throw std::runtime_error("sweep job " + std::to_string(i) + " (" +
+                               grid[i].benchmark +
+                               (grid[i].tag.empty() ? "" : ":" + grid[i].tag) +
+                               ") failed: " + outcomes[i].error);
+    }
+    results.push_back(std::move(outcomes[i].result));
+  }
+  return results;
+}
+
+SweepRunner::ProgressFn stderr_progress() {
+  return [](const SweepProgress& p) {
+    std::fprintf(stderr, "[%zu/%zu] %s%s%s%s\n", p.completed, p.total,
+                 p.job->benchmark.c_str(), p.job->tag.empty() ? "" : ":",
+                 p.job->tag.c_str(),
+                 p.outcome->ok() ? "" : "  ** FAILED **");
+  };
+}
+
+}  // namespace aeep::sim

@@ -54,6 +54,10 @@ struct RunResult {
     return ls ? static_cast<double>(wb_total()) / static_cast<double>(ls) : 0.0;
   }
   double ipc() const { return core.ipc(); }
+
+  /// Field-wise equality; the sweep determinism test asserts results are
+  /// identical regardless of worker count or scheduling order.
+  bool operator==(const RunResult&) const = default;
 };
 
 class System {

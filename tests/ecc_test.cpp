@@ -3,6 +3,7 @@
 // correction over all codeword positions and double-bit detection sweeps.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "common/bitops.hpp"
@@ -219,9 +220,9 @@ TEST(LineCodec, RoundTripsCleanLine) {
   Xorshift64Star rng(31);
   ProtectedLine line;
   for (int w = 0; w < 8; ++w) line.data.push_back(rng.next());
-  line.check = lc.encode(line.data);
+  line.check = lc.encode_alloc(line.data);
 
-  const auto r = lc.decode(line);
+  const auto r = lc.decode_alloc(line);
   EXPECT_EQ(r.worst, DecodeStatus::kOk);
   EXPECT_EQ(r.words_ok, 8u);
   EXPECT_EQ(r.data, line.data);
@@ -234,13 +235,13 @@ TEST(LineCodec, CorrectsScatteredSingleBitErrors) {
   ProtectedLine line;
   for (int w = 0; w < 8; ++w) line.data.push_back(rng.next());
   const std::vector<u64> golden = line.data;
-  line.check = lc.encode(line.data);
+  line.check = lc.encode_alloc(line.data);
 
   // One flip in every word: all corrected independently.
   for (int w = 0; w < 8; ++w)
     line.data[w] = flip_bit(line.data[w], static_cast<unsigned>(rng.next_below(64)));
 
-  const auto r = lc.decode(line);
+  const auto r = lc.decode_alloc(line);
   EXPECT_EQ(r.worst, DecodeStatus::kCorrectedSingle);
   EXPECT_EQ(r.words_corrected, 8u);
   EXPECT_EQ(r.data, golden);
@@ -251,11 +252,11 @@ TEST(LineCodec, ReportsWorstStatusAcrossWords) {
   LineCodec lc(secded, 64);
   ProtectedLine line;
   for (int w = 0; w < 8; ++w) line.data.push_back(0x1111111111111111ull * (w + 1));
-  line.check = lc.encode(line.data);
+  line.check = lc.encode_alloc(line.data);
   line.data[2] = flip_bit(line.data[2], 5);                       // single
   line.data[6] = flip_bit(flip_bit(line.data[6], 1), 60);         // double
 
-  const auto r = lc.decode(line);
+  const auto r = lc.decode_alloc(line);
   EXPECT_EQ(r.worst, DecodeStatus::kDetectedDouble);
   EXPECT_EQ(r.words_corrected, 1u);
   EXPECT_EQ(r.words_detected, 1u);
@@ -268,6 +269,98 @@ TEST(LineCodec, RejectsBadLineSize) {
   EXPECT_THROW(LineCodec(secded, 7), std::invalid_argument);
   EXPECT_NO_THROW(LineCodec(secded, 32));
 }
+
+// ---------------------------------------------------------------------------
+// Scratch-buffer API equivalence: the allocation-free encode/decode overloads
+// must agree exactly with the legacy allocating API across all three codecs,
+// on clean lines and on lines with corrected / detected errors.
+// ---------------------------------------------------------------------------
+
+class LineCodecScratchEquivalence
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  const WordCodec& codec() {
+    const std::string which = GetParam();
+    if (which == "parity") return parity_;
+    if (which == "byte-parity") return byte_parity_;
+    return secded_;
+  }
+
+  ParityCodec parity_;
+  ByteParityCodec byte_parity_;
+  SecdedCodec secded_;
+};
+
+TEST_P(LineCodecScratchEquivalence, EncodeMatchesAllocOnRandomLines) {
+  LineCodec lc(codec(), 64);
+  Xorshift64Star rng(41);
+  std::vector<u64> data(8), check(8);
+  for (int iter = 0; iter < 200; ++iter) {
+    for (auto& w : data) w = rng.next();
+    lc.encode(data, check);
+    EXPECT_EQ(check, lc.encode_alloc(data));
+  }
+}
+
+TEST_P(LineCodecScratchEquivalence, DecodeMatchesAllocWithInjectedErrors) {
+  LineCodec lc(codec(), 64);
+  Xorshift64Star rng(42);
+  ProtectedLine line;
+  line.data.resize(8);
+  std::vector<u64> scratch_out(8);
+  for (int iter = 0; iter < 200; ++iter) {
+    for (auto& w : line.data) w = rng.next();
+    line.check = lc.encode_alloc(line.data);
+
+    // Exercise every path: clean, single flip (corrected by SECDED,
+    // detected by the parity codecs), double flip in one word (detected by
+    // SECDED and byte parity, missed by word parity).
+    const unsigned mode = static_cast<unsigned>(iter) % 3;
+    if (mode >= 1) {
+      const unsigned w = static_cast<unsigned>(rng.next_below(8));
+      line.data[w] = flip_bit(line.data[w],
+                              static_cast<unsigned>(rng.next_below(64)));
+      if (mode == 2) {
+        const unsigned b1 = static_cast<unsigned>(rng.next_below(63));
+        line.data[w] = flip_bit(line.data[w], b1 + 1);
+      }
+    }
+
+    const LineDecodeResult alloc = lc.decode_alloc(line);
+    const LineDecodeSummary scratch =
+        lc.decode(line.data, line.check, scratch_out);
+    EXPECT_EQ(scratch.worst, alloc.worst);
+    EXPECT_EQ(scratch.words_ok, alloc.words_ok);
+    EXPECT_EQ(scratch.words_corrected, alloc.words_corrected);
+    EXPECT_EQ(scratch.words_detected, alloc.words_detected);
+    EXPECT_EQ(scratch_out, alloc.data);
+  }
+}
+
+TEST_P(LineCodecScratchEquivalence, DecodeInPlaceAliasingRepairsLine) {
+  LineCodec lc(codec(), 64);
+  Xorshift64Star rng(43);
+  ProtectedLine line;
+  line.data.resize(8);
+  for (int iter = 0; iter < 100; ++iter) {
+    for (auto& w : line.data) w = rng.next();
+    line.check = lc.encode_alloc(line.data);
+    if (iter % 2 == 1) {
+      const unsigned w = static_cast<unsigned>(rng.next_below(8));
+      line.data[w] = flip_bit(line.data[w],
+                              static_cast<unsigned>(rng.next_below(64)));
+    }
+    const LineDecodeResult alloc = lc.decode_alloc(line);
+    // data_out aliases data: decode must leave the corrected payload there.
+    const LineDecodeSummary scratch =
+        lc.decode(line.data, line.check, line.data);
+    EXPECT_EQ(scratch.worst, alloc.worst);
+    EXPECT_EQ(line.data, alloc.data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, LineCodecScratchEquivalence,
+                         ::testing::Values("parity", "byte-parity", "secded"));
 
 TEST(LineCodec, WorseOrdersSeverity) {
   EXPECT_EQ(worse(DecodeStatus::kOk, DecodeStatus::kCorrectedSingle),

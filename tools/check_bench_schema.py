@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare the key structure of two bench --json files.
+
+CI runs a short smoke sweep and diffs its JSON *shape* against the committed
+BENCH_sweep.json so schema drift (renamed metrics, dropped config keys, a
+changed cells layout) fails the build even though the metric *values*
+legitimately differ between machines and runs.
+
+Usage: check_bench_schema.py BASELINE.json FRESH.json
+
+Rules:
+  - Objects must have exactly the same key sets, recursively.
+  - Arrays are compared element-wise against the baseline's first element
+    (cells all share one shape; an empty fresh array is a failure when the
+    baseline has elements).
+  - Leaf types must match (number vs string vs bool vs null), except that a
+    baseline number matches any fresh number.
+Exits 0 when the shapes match, 1 with a per-path diff otherwise.
+"""
+
+import json
+import sys
+
+
+def type_name(v):
+    if isinstance(v, bool):
+        return "bool"
+    if isinstance(v, (int, float)):
+        return "number"
+    if isinstance(v, str):
+        return "string"
+    if v is None:
+        return "null"
+    if isinstance(v, list):
+        return "array"
+    if isinstance(v, dict):
+        return "object"
+    return type(v).__name__
+
+
+def diff_shapes(base, fresh, path, errors):
+    bt, ft = type_name(base), type_name(fresh)
+    if bt != ft:
+        errors.append(f"{path}: baseline is {bt}, fresh is {ft}")
+        return
+    if bt == "object":
+        missing = sorted(set(base) - set(fresh))
+        extra = sorted(set(fresh) - set(base))
+        if missing:
+            errors.append(f"{path}: fresh is missing keys {missing}")
+        if extra:
+            errors.append(f"{path}: fresh has unexpected keys {extra}")
+        for key in sorted(set(base) & set(fresh)):
+            diff_shapes(base[key], fresh[key], f"{path}.{key}", errors)
+    elif bt == "array":
+        if base and not fresh:
+            errors.append(f"{path}: baseline has elements, fresh is empty")
+        elif base:
+            for i, elem in enumerate(fresh):
+                diff_shapes(base[0], elem, f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print(f"usage: {argv[0]} BASELINE.json FRESH.json", file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        base = json.load(f)
+    with open(argv[2]) as f:
+        fresh = json.load(f)
+    errors = []
+    diff_shapes(base, fresh, "$", errors)
+    if errors:
+        print(f"bench schema drift vs {argv[1]}:")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"bench schema matches {argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

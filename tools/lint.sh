@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Repo-specific lint gate (runs in CI; no compiler needed).
 #
-# Three rules, each born from a real bug class in this codebase:
+# Four rules, each born from a real bug class in this codebase:
 #
 #  1. No raw rand()/srand(): all stochastic behaviour must flow from the
 #     seeded Xorshift64Star so every run is exactly reproducible.
@@ -14,6 +14,10 @@
 #     `...Stats& stats()` accessor) so warm-up resets cannot silently skip
 #     it. This is the rule that would have caught the Scrubber stats
 #     surviving reset_metrics.
+#  4. Under src/ecc/, functions named exactly `encode`/`decode` must not
+#     return std::vector: the line-codec hot path is allocation-free by
+#     contract (callers bring scratch buffers). Allocating conveniences are
+#     fine but must be named *_alloc so the cost is visible at call sites.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -50,6 +54,14 @@ while IFS= read -r header; do
            "reset_metrics() nor a non-const ...Stats& stats() accessor"
   fi
 done < <(grep -rlE 'struct [A-Za-z_]*Stats\b' src --include='*.hpp')
+
+# --- Rule 4: no allocating encode/decode in the ECC hot path ---------------
+hits=$(grep -rnE 'std::vector<[^>]+>[[:space:]]+[A-Za-z_:]*(encode|decode)[[:space:]]*\(' \
+         src/ecc "${CXX_GLOBS[@]}" || true)
+if [[ -n "$hits" ]]; then
+  report "std::vector-returning encode()/decode() is banned under src/ecc/;
+use the span scratch-buffer API, or name the convenience *_alloc" "$hits"
+fi
 
 if [[ $fail -eq 0 ]]; then
   echo "lint: all rules pass"
