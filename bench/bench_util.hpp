@@ -18,9 +18,11 @@ struct CommonOptions {
   u64 instructions = 2'000'000;
   u64 warmup = 2'000'000;
   u64 seed = 42;
-  std::string suite = "all";  ///< all | fp | int | smoke
-  unsigned jobs = 0;          ///< sweep workers; 0 = hardware concurrency
-  std::string json_path;      ///< --json=<path>: machine-readable results
+  std::string suite = "all";      ///< all | fp | int | smoke
+  unsigned jobs = 0;              ///< sweep workers; 0 = hardware concurrency
+  std::string json_path;          ///< --json=<path>: machine-readable results
+  std::string frontend = "exec";  ///< exec | trace (see --trace-dir)
+  std::string trace_dir;          ///< frontend=trace: <dir>/<benchmark>.aeept
 };
 
 inline CommonOptions parse_common(const CliArgs& args) {
@@ -31,7 +33,37 @@ inline CommonOptions parse_common(const CliArgs& args) {
   o.suite = args.get("suite", o.suite);
   o.jobs = static_cast<unsigned>(args.get_u64("jobs", o.jobs));
   o.json_path = args.get("json", o.json_path);
+  o.frontend = args.get("frontend", o.frontend);
+  o.trace_dir = args.get("trace-dir", o.trace_dir);
+  if (o.frontend != "exec" && o.frontend != "trace") {
+    std::fprintf(stderr, "unknown --frontend=%s (exec | trace)\n",
+                 o.frontend.c_str());
+    std::exit(2);
+  }
+  if (o.frontend == "trace" && o.trace_dir.empty()) {
+    std::fprintf(stderr,
+                 "--frontend=trace needs --trace-dir=DIR with one "
+                 "<benchmark>.aeept per benchmark (see: aeep_trace capture)\n");
+    std::exit(2);
+  }
   return o;
+}
+
+/// Copy the frontend selection into a sweep cell's options.
+inline void apply_frontend(sim::ExperimentOptions& eo, const CommonOptions& o) {
+  if (o.frontend == "trace") {
+    eo.frontend = sim::Frontend::kTrace;
+    eo.trace_dir = o.trace_dir;
+  }
+}
+
+/// For benches whose metrics only exist execution-driven (core IPC, online
+/// strike campaigns): refuse --frontend=trace with a clear reason.
+inline void require_exec_frontend(const CommonOptions& o, const char* why) {
+  if (o.frontend != "exec") {
+    std::fprintf(stderr, "--frontend=trace is not supported here: %s\n", why);
+    std::exit(2);
+  }
 }
 
 /// Worker count a bench should hand to SweepRunner: --jobs when given,
@@ -71,6 +103,9 @@ inline void print_header(const char* experiment, const CommonOptions& o) {
               static_cast<unsigned long long>(o.instructions),
               static_cast<unsigned long long>(o.warmup),
               static_cast<unsigned long long>(o.seed));
+  std::printf("frontend: %s%s%s\n", o.frontend.c_str(),
+              o.trace_dir.empty() ? "" : ", traces from ",
+              o.trace_dir.c_str());
   std::printf("sweep workers: %u\n\n", resolve_jobs(o));
 }
 

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   base.instructions = opt.instructions;
   base.warmup_instructions = opt.warmup;
   base.seed = opt.seed;
+  bench::apply_frontend(base, opt);
 
   sim::ExperimentOptions org_opts = base;
   org_opts.scheme = protect::SchemeKind::kUniformEcc;

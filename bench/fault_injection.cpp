@@ -52,6 +52,7 @@ Row run_campaign(const std::string& bench_name, protect::SchemeKind scheme,
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   bench::CommonOptions opt = bench::parse_common(args);
+  bench::require_exec_frontend(opt, "fault campaigns inject into the execution-driven run");
   opt.instructions = args.get_u64("instructions", 500'000);
   opt.warmup = args.get_u64("warmup", 200'000);
   const u64 injections = args.get_u64("injections", 2000);

@@ -82,6 +82,7 @@ class JsonReporter {
     config.set("warmup", JsonValue::number(o.warmup));
     config.set("seed", JsonValue::number(o.seed));
     config.set("suite", JsonValue::string(o.suite));
+    config.set("frontend", JsonValue::string(o.frontend));
     root_.set("config", std::move(config));
     root_.set("cells", JsonValue::array());
     start_ = std::chrono::steady_clock::now();
@@ -121,7 +122,7 @@ class JsonReporter {
       return false;
     }
     const std::string text = root_.dump(2) + "\n";
-    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    const bool ok = std::fputs(text.c_str(), f) >= 0;
     std::fclose(f);
     if (ok) std::fprintf(stderr, "wrote %s\n", path.c_str());
     return ok;

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
     eo.instructions = opt.instructions;
     eo.warmup_instructions = opt.warmup;
     eo.seed = opt.seed;
+    bench::apply_frontend(eo, opt);
     return sim::run_benchmark(bench_name, eo);
   };
   const sim::RunResult org = run_with(0);

@@ -92,6 +92,7 @@ Outcome run_campaign(protect::SchemeKind scheme, unsigned epochs,
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   bench::CommonOptions opt = bench::parse_common(args);
+  bench::require_exec_frontend(opt, "scrub scheduling is driven by the live core clock");
   opt.instructions = args.get_u64("instructions", 400'000);
   const unsigned epochs = static_cast<unsigned>(args.get_u64("epochs", 40));
   const unsigned strikes =

@@ -57,10 +57,15 @@ WriteBufferEntry WriteBuffer::pop() {
 }
 
 void WriteBuffer::recycle(WriteBufferEntry&& e) {
-  // Keep at most one spare vector per CAM slot; anything beyond that could
-  // only accumulate if callers recycle entries they never popped.
-  if (free_words_.size() < capacity_ && e.words.capacity() >= line_bytes_ / 8)
+  // Keep at most one spare vector per CAM slot, and never more than
+  // kFreeListBound overall; anything beyond that could only accumulate if
+  // callers recycle entries they never popped.
+  if (free_words_.size() < free_list_bound() &&
+      e.words.capacity() >= line_bytes_ / 8) {
     free_words_.push_back(std::move(e.words));
+    if (free_words_.size() > stats_.free_list_peak)
+      stats_.free_list_peak = free_words_.size();
+  }
 }
 
 void WriteBuffer::reset() {

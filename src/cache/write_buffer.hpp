@@ -28,12 +28,18 @@ struct WriteBufferStats {
   u64 coalesced = 0;   ///< stores merged into an existing entry
   u64 drains = 0;      ///< entries handed to L2
   u64 full_events = 0; ///< stores that found the buffer full (before retry)
+  u64 free_list_peak = 0;  ///< high-water mark of recycled line storage
 
   bool operator==(const WriteBufferStats&) const = default;
 };
 
 class WriteBuffer {
  public:
+  /// Hard ceiling on recycled line-storage vectors, independent of the
+  /// configured entry count: a misconfigured 4096-entry buffer must not
+  /// turn the recycling optimisation into an unbounded memory sink.
+  static constexpr std::size_t kFreeListBound = 64;
+
   explicit WriteBuffer(unsigned entries = 16, unsigned line_bytes = 64);
 
   enum class PushResult { kNew, kCoalesced, kFull };
@@ -61,6 +67,14 @@ class WriteBuffer {
   std::size_t size() const { return fifo_.size(); }
   unsigned capacity() const { return capacity_; }
   unsigned line_bytes() const { return line_bytes_; }
+
+  /// Recycled storage currently held; never exceeds
+  /// min(capacity(), kFreeListBound).
+  std::size_t free_list_size() const { return free_words_.size(); }
+  /// The bound recycle() enforces for this buffer.
+  std::size_t free_list_bound() const {
+    return capacity_ < kFreeListBound ? capacity_ : kFreeListBound;
+  }
 
   const WriteBufferStats& stats() const { return stats_; }
   /// Drop all entries and zero statistics.

@@ -82,15 +82,21 @@ std::string json_escape(const std::string& s) {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
+          // Remaining control characters have no short escape; \u-encode.
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
+          // Bytes >= 0x20 (including UTF-8 multi-byte sequences) pass
+          // through untouched; JSON strings are UTF-8.
           out += c;
         }
     }

@@ -1,11 +1,21 @@
 #include "sim/experiment.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 #include "sim/sweep.hpp"
+#include "trace/replay.hpp"
 #include "workload/profile.hpp"
 
 namespace aeep::sim {
+
+const char* to_string(Frontend f) {
+  switch (f) {
+    case Frontend::kExec: return "exec";
+    case Frontend::kTrace: return "trace";
+  }
+  return "?";
+}
 
 SystemConfig make_system_config(const std::string& benchmark,
                                 const ExperimentOptions& opts) {
@@ -14,6 +24,7 @@ SystemConfig make_system_config(const std::string& benchmark,
   cfg.seed = opts.seed;
   cfg.instructions = opts.instructions;
   cfg.warmup_instructions = opts.warmup_instructions;
+  cfg.hierarchy.capture_path = opts.capture_path;
 
   cfg.hierarchy.l2.scheme = opts.scheme;
   cfg.hierarchy.l2.cleaning_interval = opts.cleaning_interval;
@@ -41,8 +52,31 @@ SystemConfig make_system_config(const std::string& benchmark,
   return cfg;
 }
 
+std::string trace_path_for(const std::string& benchmark,
+                           const ExperimentOptions& opts) {
+  if (!opts.trace_path.empty()) return opts.trace_path;
+  if (!opts.trace_dir.empty()) return opts.trace_dir + "/" + benchmark + ".aeept";
+  throw std::runtime_error(
+      "frontend=trace needs trace_dir or trace_path (benchmark " + benchmark +
+      ")");
+}
+
 RunResult run_benchmark(const std::string& benchmark,
                         const ExperimentOptions& opts) {
+  if (opts.frontend == Frontend::kTrace) {
+    if (opts.strikes_enabled)
+      throw std::runtime_error(
+          "frontend=trace cannot run online strike campaigns (cycle-exact "
+          "strike replay needs the execution-driven frontend)");
+    SystemConfig cfg = make_system_config(benchmark, opts);
+    trace::ReplayConfig rc;
+    rc.hierarchy = cfg.hierarchy;
+    rc.trace_path = trace_path_for(benchmark, opts);
+    RunResult r = trace::ReplayDriver(std::move(rc)).run();
+    r.benchmark = benchmark;
+    r.floating_point = workload::profile_by_name(benchmark).floating_point;
+    return r;
+  }
   System system(make_system_config(benchmark, opts));
   return system.run();
 }

@@ -11,6 +11,14 @@
 
 namespace aeep::sim {
 
+/// What drives the memory hierarchy for a run.
+enum class Frontend {
+  kExec,   ///< the out-of-order core executes the synthetic workload
+  kTrace,  ///< a recorded L2-visible access stream replays, no core
+};
+
+const char* to_string(Frontend f);
+
 /// Per-experiment knobs on top of the fixed Table-1 machine.
 struct ExperimentOptions {
   protect::SchemeKind scheme = protect::SchemeKind::kUniformEcc;
@@ -25,6 +33,15 @@ struct ExperimentOptions {
   /// Skip real check-bit encode/decode for timing-only sweeps (the paper's
   /// metrics never depend on code contents, only on dirty-state dynamics).
   bool maintain_codes = false;
+
+  // --- Frontend selection (execution-driven vs trace-driven) -------------
+  Frontend frontend = Frontend::kExec;
+  /// kTrace: replay `<trace_dir>/<benchmark>.aeept` (unless trace_path set).
+  std::string trace_dir;
+  /// kTrace: explicit trace file; overrides trace_dir.
+  std::string trace_path;
+  /// kExec: record the L2-visible access stream into this file.
+  std::string capture_path;
 
   // --- Online fault injection & recovery ---------------------------------
   /// Poisson strikes into the live L2 arrays during the run. Enabling this
@@ -49,6 +66,11 @@ struct ExperimentOptions {
 /// The Table-1 machine with `opts` applied, ready for System().
 SystemConfig make_system_config(const std::string& benchmark,
                                 const ExperimentOptions& opts);
+
+/// Trace file a kTrace run of `benchmark` replays (trace_path, or the
+/// benchmark's file under trace_dir).
+std::string trace_path_for(const std::string& benchmark,
+                           const ExperimentOptions& opts);
 
 /// Build and run one benchmark.
 RunResult run_benchmark(const std::string& benchmark,

@@ -15,6 +15,10 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
       itlb_(config.itlb),
       dtlb_(config.dtlb),
       wbuf_(config.write_buffer_entries, config.l2.geometry.line_bytes) {
+  if (!config_.capture_path.empty()) {
+    capture_ = std::make_unique<trace::CaptureSink>(
+        config_.capture_path, config_.l2.geometry.line_bytes);
+  }
   if (config_.strikes.enabled) {
     strikes_ = std::make_unique<fault::StrikeProcess>(l2_, config_.strikes);
     // Persistent faults re-corrupt a freshly re-fetched line before the
@@ -25,6 +29,7 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
 }
 
 Cycle MemoryHierarchy::fetch(Cycle now, Addr pc) {
+  if (capture_) capture_->on_fetch(now, pc);
   const Cycle tlb_extra = itlb_.access(pc, now);
   const cache::ProbeResult pr = l1i_.probe(pc);
   auto& st = l1i_.stats();
@@ -43,6 +48,7 @@ Cycle MemoryHierarchy::fetch(Cycle now, Addr pc) {
 }
 
 Cycle MemoryHierarchy::load(Cycle now, Addr addr) {
+  if (capture_) capture_->on_load(now, addr);
   const Cycle tlb_extra = dtlb_.access(addr, now);
   const cache::ProbeResult pr = l1d_.probe(addr);
   auto& st = l1d_.stats();
@@ -69,6 +75,9 @@ bool MemoryHierarchy::store(Cycle now, Addr addr, u64 value) {
     return false;
   }
   if (res == cache::WriteBuffer::PushResult::kNew) wbuf_ages_.push_back(now);
+  // Only accepted stores are recorded: a rejected store has no side effects
+  // and reappears in the stream at the cycle its retry lands.
+  if (capture_) capture_->on_store(now, addr, value);
 
   dtlb_.access(addr, now);
   const cache::ProbeResult pr = l1d_.probe(addr);
@@ -113,6 +122,7 @@ void MemoryHierarchy::flush_write_buffer(Cycle now) {
 }
 
 void MemoryHierarchy::reset_stats(Cycle now) {
+  if (capture_) capture_->on_stats_reset(now);
   bus_.reset_stats();
   l1i_.stats() = {};
   l1d_.stats() = {};

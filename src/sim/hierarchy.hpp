@@ -16,6 +16,7 @@
 #include "mem/bus.hpp"
 #include "mem/memory_store.hpp"
 #include "protect/protected_l2.hpp"
+#include "trace/capture.hpp"
 
 namespace aeep::sim {
 
@@ -34,6 +35,9 @@ struct HierarchyConfig {
   unsigned wb_high_watermark = 12;
   /// Online soft-error strikes into the live L2 arrays (off by default).
   fault::StrikeConfig strikes{};
+  /// Non-empty: record every L2-visible access (fetch / load / accepted
+  /// store, with issue cycles) into this trace file for later replay.
+  std::string capture_path{};
 };
 
 class MemoryHierarchy final : public cpu::MemoryInterface {
@@ -53,6 +57,8 @@ class MemoryHierarchy final : public cpu::MemoryInterface {
   /// Non-null iff strikes are enabled in the configuration.
   fault::StrikeProcess* strikes() { return strikes_.get(); }
   const fault::StrikeProcess* strikes() const { return strikes_.get(); }
+  /// Non-null iff a capture path is configured.
+  trace::CaptureSink* capture() { return capture_.get(); }
   cache::Cache& l1i() { return l1i_; }
   cache::Cache& l1d() { return l1d_; }
   const cache::WriteBuffer& write_buffer() const { return wbuf_; }
@@ -69,6 +75,7 @@ class MemoryHierarchy final : public cpu::MemoryInterface {
   void drain_front(Cycle now);
 
   HierarchyConfig config_;
+  std::unique_ptr<trace::CaptureSink> capture_;
   mem::MemoryStore store_;
   mem::SplitTransactionBus bus_;
   protect::ProtectedL2 l2_;

@@ -23,6 +23,8 @@ RunResult System::run() {
   const u64 target = core_->stats().committed + config_.instructions;
   const cpu::CoreStats cs = core_->run(target);
   hierarchy_.l2().finalize(core_->now());
+  if (auto* cap = hierarchy_.capture())
+    cap->finish(core_->now(), cs.committed, cs.loads, cs.stores);
 
   RunResult r;
   r.benchmark = config_.benchmark;

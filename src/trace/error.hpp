@@ -1,0 +1,46 @@
+// Typed failures for trace I/O. Every malformed input — wrong magic,
+// unsupported version, short read, checksum mismatch, undecodable payload —
+// surfaces as a TraceError with a machine-checkable kind, so callers (and
+// the round-trip tests) can distinguish "file damaged in transit" from
+// "wrong tool version" without parsing message strings.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace aeep::trace {
+
+enum class TraceErrorKind {
+  kIo,          ///< open/read/write failed at the OS level
+  kBadMagic,    ///< not a trace file at all
+  kBadVersion,  ///< trace format newer/older than this reader
+  kTruncated,   ///< clean prefix but the file ends mid-structure / no footer
+  kCorrupt,     ///< structure present but inconsistent (CRC, counts, kinds)
+};
+
+const char* to_string(TraceErrorKind k);
+
+class TraceError : public std::runtime_error {
+ public:
+  TraceError(TraceErrorKind kind, const std::string& message)
+      : std::runtime_error(std::string(to_string(kind)) + ": " + message),
+        kind_(kind) {}
+
+  TraceErrorKind kind() const { return kind_; }
+
+ private:
+  TraceErrorKind kind_;
+};
+
+inline const char* to_string(TraceErrorKind k) {
+  switch (k) {
+    case TraceErrorKind::kIo: return "trace io error";
+    case TraceErrorKind::kBadMagic: return "trace bad magic";
+    case TraceErrorKind::kBadVersion: return "trace version mismatch";
+    case TraceErrorKind::kTruncated: return "trace truncated";
+    case TraceErrorKind::kCorrupt: return "trace corrupt";
+  }
+  return "trace error";
+}
+
+}  // namespace aeep::trace

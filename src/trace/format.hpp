@@ -1,0 +1,79 @@
+// On-disk format of the L2-visible access trace (the ".aeept" files).
+//
+// Everything the paper's protection metrics need — dirty ratio, the three
+// write-back classes, shared-ECC conflicts — is a function of the access
+// stream the core presents to the memory hierarchy: the ordered sequence of
+// instruction fetches, loads and accepted stores with their issue cycles.
+// A trace records exactly that stream, so a replay can re-drive the real
+// L1/write-buffer/L2 models without paying for the out-of-order core.
+//
+// Layout (all integers little-endian):
+//
+//   File   := Header Chunk* Footer
+//   Header := magic u32 ("AEL2") | version u32 | line_bytes u32 | reserved u32
+//   Chunk  := tag u8 (kDataChunkTag)
+//             payload_bytes u32 | event_count u32 | crc32(payload) u32
+//             payload
+//   Footer := tag u8 (kFooterTag)
+//             payload_bytes u32 | crc32(payload) u32
+//             payload (varints: end_tick, committed, loads, stores, events)
+//
+// A data-chunk payload is a run of events. Each event is one kind byte
+// followed by a varint tick delta and (for accesses) a zigzag-varint
+// address delta; stores append the stored 64-bit word as a varint. Delta
+// state (previous tick / previous address) resets at every chunk boundary,
+// so each chunk decodes independently and a CRC failure pinpoints the
+// damaged region. The footer doubles as the end-of-stream marker: a file
+// without one is reported as truncated, never silently accepted.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace aeep::trace {
+
+inline constexpr u32 kTraceMagic = 0x324C4541;  // "AEL2"
+inline constexpr u32 kTraceVersion = 1;
+
+inline constexpr u8 kDataChunkTag = 0x01;
+inline constexpr u8 kFooterTag = 0x02;
+
+/// Events per data chunk the writer targets (format allows any count >= 1).
+inline constexpr u32 kDefaultChunkEvents = 4096;
+
+/// What one trace record describes.
+enum class EventKind : u8 {
+  kFetch = 0,      ///< instruction-block fetch (fills through the L2)
+  kLoad = 1,       ///< data load presented to the L1D
+  kStore = 2,      ///< store accepted by the write buffer (carries the word)
+  kStatsReset = 3, ///< warm-up boundary: statistics were zeroed here
+};
+
+/// Is `k` a valid on-disk kind byte?
+constexpr bool is_valid_kind(u8 k) { return k <= static_cast<u8>(EventKind::kStatsReset); }
+
+/// One decoded trace record.
+struct TraceEvent {
+  EventKind kind = EventKind::kFetch;
+  Cycle tick = 0;  ///< cycle the access was issued (monotonic non-decreasing)
+  Addr addr = 0;   ///< accessed address (0 for kStatsReset)
+  u64 value = 0;   ///< stored word (kStore only)
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// Footer payload: the capture-side run summary. Replays use it to finish
+/// the clock at the right cycle and to report the capture's committed-op and
+/// load/store counts (needed for per-instruction rates the stream alone
+/// cannot reconstruct exactly — squashed wrong-path accesses are in the
+/// stream but not in the committed counts).
+struct TraceSummary {
+  Cycle end_tick = 0;  ///< core cycle the measured run finished at
+  u64 committed = 0;   ///< committed micro-ops of the measured phase
+  u64 loads = 0;       ///< committed loads of the measured phase
+  u64 stores = 0;      ///< committed stores of the measured phase
+  u64 events = 0;      ///< total events across all data chunks
+
+  bool operator==(const TraceSummary&) const = default;
+};
+
+}  // namespace aeep::trace

@@ -1,0 +1,125 @@
+#include "trace/io.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace aeep::trace {
+
+void put_varint(std::vector<u8>& out, u64 v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<u8>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<u8>(v));
+}
+
+u64 get_varint(const std::vector<u8>& buf, std::size_t& pos) {
+  u64 v = 0;
+  unsigned shift = 0;
+  while (true) {
+    if (pos >= buf.size())
+      throw TraceError(TraceErrorKind::kTruncated, "payload ends mid-varint");
+    const u8 byte = buf[pos++];
+    if (shift == 63 && (byte & ~u8{1}) != 0)
+      throw TraceError(TraceErrorKind::kCorrupt, "varint overflows 64 bits");
+    v |= static_cast<u64>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63)
+      throw TraceError(TraceErrorKind::kCorrupt, "varint longer than 10 bytes");
+  }
+}
+
+namespace {
+std::array<u32, 256> make_crc_table() {
+  std::array<u32, 256> t{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+}  // namespace
+
+u32 crc32(const u8* data, std::size_t n) {
+  static const std::array<u32, 256> table = make_crc_table();
+  u32 c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+FileWriter::FileWriter(const std::string& path)
+    : path_(path), file_(std::fopen(path.c_str(), "wb")) {
+  if (!file_)
+    throw TraceError(TraceErrorKind::kIo, "cannot open for writing: " + path);
+}
+
+FileWriter::~FileWriter() {
+  // Best effort on the unwinding path; close() explicitly to observe errors.
+  if (file_) std::fclose(file_);
+  file_ = nullptr;
+}
+
+void FileWriter::write_bytes(const void* data, std::size_t n) {
+  if (!file_)
+    throw TraceError(TraceErrorKind::kIo, "write after close: " + path_);
+  if (n == 0) return;
+  if (std::fwrite(data, 1, n, file_) != n)
+    throw TraceError(TraceErrorKind::kIo, "short write: " + path_);
+  bytes_ += n;
+}
+
+void FileWriter::write_u8(u8 v) { write_bytes(&v, 1); }
+
+void FileWriter::write_u32(u32 v) {
+  const u8 b[4] = {static_cast<u8>(v), static_cast<u8>(v >> 8),
+                   static_cast<u8>(v >> 16), static_cast<u8>(v >> 24)};
+  write_bytes(b, 4);
+}
+
+void FileWriter::close() {
+  if (!file_) return;
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) throw TraceError(TraceErrorKind::kIo, "close failed: " + path_);
+}
+
+FileReader::FileReader(const std::string& path)
+    : path_(path), file_(std::fopen(path.c_str(), "rb")) {
+  if (!file_)
+    throw TraceError(TraceErrorKind::kIo, "cannot open for reading: " + path);
+}
+
+FileReader::~FileReader() {
+  if (file_) std::fclose(file_);
+  file_ = nullptr;
+}
+
+void FileReader::read_bytes(void* out, std::size_t n) {
+  if (n == 0) return;
+  if (std::fread(out, 1, n, file_) != n)
+    throw TraceError(TraceErrorKind::kTruncated, "short read: " + path_);
+}
+
+u8 FileReader::read_u8() {
+  u8 v = 0;
+  read_bytes(&v, 1);
+  return v;
+}
+
+u32 FileReader::read_u32() {
+  u8 b[4];
+  read_bytes(b, 4);
+  return static_cast<u32>(b[0]) | static_cast<u32>(b[1]) << 8 |
+         static_cast<u32>(b[2]) << 16 | static_cast<u32>(b[3]) << 24;
+}
+
+bool FileReader::at_eof() {
+  const int c = std::fgetc(file_);
+  if (c == EOF) return true;
+  std::ungetc(c, file_);
+  return false;
+}
+
+}  // namespace aeep::trace

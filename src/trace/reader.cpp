@@ -1,0 +1,110 @@
+#include "trace/reader.hpp"
+
+namespace aeep::trace {
+
+TraceReader::TraceReader(const std::string& path) : file_(path) {
+  u32 magic = 0, version = 0;
+  try {
+    magic = file_.read_u32();
+  } catch (const TraceError&) {
+    throw TraceError(TraceErrorKind::kTruncated, "no header: " + path);
+  }
+  if (magic != kTraceMagic)
+    throw TraceError(TraceErrorKind::kBadMagic, "not a trace file: " + path);
+  version = file_.read_u32();
+  if (version != kTraceVersion)
+    throw TraceError(TraceErrorKind::kBadVersion,
+                     "trace is v" + std::to_string(version) + ", reader is v" +
+                         std::to_string(kTraceVersion) + ": " + path);
+  line_bytes_ = file_.read_u32();
+  (void)file_.read_u32();  // reserved
+}
+
+bool TraceReader::load_chunk() {
+  if (file_.at_eof())
+    throw TraceError(TraceErrorKind::kTruncated,
+                     "file ends without a footer: " + path());
+  const u8 tag = file_.read_u8();
+  if (tag == kDataChunkTag) {
+    const u32 payload_bytes = file_.read_u32();
+    const u32 event_count = file_.read_u32();
+    const u32 crc = file_.read_u32();
+    if (event_count == 0)
+      throw TraceError(TraceErrorKind::kCorrupt, "empty data chunk: " + path());
+    payload_.resize(payload_bytes);
+    file_.read_bytes(payload_.data(), payload_bytes);
+    if (crc32(payload_) != crc)
+      throw TraceError(TraceErrorKind::kCorrupt,
+                       "chunk CRC mismatch (chunk " + std::to_string(chunks_) +
+                           "): " + path());
+    pos_ = 0;
+    chunk_left_ = event_count;
+    prev_tick_ = 0;
+    prev_addr_ = 0;
+    ++chunks_;
+    return true;
+  }
+  if (tag == kFooterTag) {
+    const u32 payload_bytes = file_.read_u32();
+    const u32 crc = file_.read_u32();
+    payload_.resize(payload_bytes);
+    file_.read_bytes(payload_.data(), payload_bytes);
+    if (crc32(payload_) != crc)
+      throw TraceError(TraceErrorKind::kCorrupt,
+                       "footer CRC mismatch: " + path());
+    std::size_t p = 0;
+    summary_.end_tick = get_varint(payload_, p);
+    summary_.committed = get_varint(payload_, p);
+    summary_.loads = get_varint(payload_, p);
+    summary_.stores = get_varint(payload_, p);
+    summary_.events = get_varint(payload_, p);
+    if (p != payload_.size())
+      throw TraceError(TraceErrorKind::kCorrupt,
+                       "footer has trailing bytes: " + path());
+    if (summary_.events != events_)
+      throw TraceError(TraceErrorKind::kCorrupt,
+                       "footer event count " + std::to_string(summary_.events) +
+                           " != " + std::to_string(events_) +
+                           " events decoded: " + path());
+    if (!file_.at_eof())
+      throw TraceError(TraceErrorKind::kCorrupt,
+                       "data after the footer: " + path());
+    done_ = true;
+    return false;
+  }
+  throw TraceError(TraceErrorKind::kCorrupt,
+                   "unknown chunk tag " + std::to_string(tag) + ": " + path());
+}
+
+bool TraceReader::next(TraceEvent& out) {
+  if (done_) return false;
+  if (chunk_left_ == 0 && !load_chunk()) return false;
+
+  if (pos_ >= payload_.size())
+    throw TraceError(TraceErrorKind::kCorrupt,
+                     "chunk payload shorter than its event count: " + path());
+  const u8 kind_byte = payload_[pos_++];
+  if (!is_valid_kind(kind_byte))
+    throw TraceError(TraceErrorKind::kCorrupt,
+                     "unknown event kind " + std::to_string(kind_byte) + ": " +
+                         path());
+  out.kind = static_cast<EventKind>(kind_byte);
+  out.tick = prev_tick_ + get_varint(payload_, pos_);
+  prev_tick_ = out.tick;
+  if (out.kind != EventKind::kStatsReset) {
+    const i64 delta = unzigzag(get_varint(payload_, pos_));
+    out.addr = static_cast<Addr>(static_cast<i64>(prev_addr_) + delta);
+    prev_addr_ = out.addr;
+  } else {
+    out.addr = 0;
+  }
+  out.value = out.kind == EventKind::kStore ? get_varint(payload_, pos_) : 0;
+  --chunk_left_;
+  if (chunk_left_ == 0 && pos_ != payload_.size())
+    throw TraceError(TraceErrorKind::kCorrupt,
+                     "chunk has trailing bytes: " + path());
+  ++events_;
+  return true;
+}
+
+}  // namespace aeep::trace

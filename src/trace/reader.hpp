@@ -1,0 +1,50 @@
+// Streaming trace reader: decodes one chunk at a time (constant memory in
+// the trace length), verifies every chunk's CRC and event count, and
+// surfaces malformed input as typed TraceErrors — see error.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/format.hpp"
+#include "trace/io.hpp"
+
+namespace aeep::trace {
+
+class TraceReader {
+ public:
+  /// Opens `path` and validates the header (magic, version).
+  explicit TraceReader(const std::string& path);
+
+  /// Decode the next event into `out`. Returns false once the footer has
+  /// been reached (then `summary()` is valid); throws TraceError on any
+  /// malformed input, including a file that ends without a footer.
+  bool next(TraceEvent& out);
+
+  /// Capture-side run summary; only valid after next() returned false.
+  const TraceSummary& summary() const { return summary_; }
+
+  u32 line_bytes() const { return line_bytes_; }
+  u64 events_read() const { return events_; }
+  u64 chunks_read() const { return chunks_; }
+  const std::string& path() const { return file_.path(); }
+
+ private:
+  /// Load and CRC-check the next chunk; fills payload_ (data) or summary_
+  /// (footer). Returns false when the footer was consumed.
+  bool load_chunk();
+
+  FileReader file_;
+  u32 line_bytes_ = 0;
+  std::vector<u8> payload_;
+  std::size_t pos_ = 0;
+  u32 chunk_left_ = 0;  ///< events remaining in the current chunk
+  Cycle prev_tick_ = 0;
+  Addr prev_addr_ = 0;
+  u64 events_ = 0;
+  u64 chunks_ = 0;
+  bool done_ = false;
+  TraceSummary summary_{};
+};
+
+}  // namespace aeep::trace

@@ -1,0 +1,105 @@
+#include "trace/validate.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "trace/replay.hpp"
+
+namespace aeep::trace {
+
+double relative_error(double a, double b) {
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  if (scale == 0.0) return 0.0;
+  return std::fabs(a - b) / scale;
+}
+
+namespace {
+MetricDiff diff_one(const char* name, double exec, double replay) {
+  return {name, exec, replay, relative_error(exec, replay)};
+}
+}  // namespace
+
+std::vector<MetricDiff> diff_metrics(const sim::RunResult& exec,
+                                     const sim::RunResult& replay) {
+  std::vector<MetricDiff> m;
+  m.push_back(diff_one("avg_dirty_fraction", exec.avg_dirty_fraction,
+                       replay.avg_dirty_fraction));
+  m.push_back(diff_one("wb_replacement",
+                       static_cast<double>(exec.wb_replacement),
+                       static_cast<double>(replay.wb_replacement)));
+  m.push_back(diff_one("wb_cleaning", static_cast<double>(exec.wb_cleaning),
+                       static_cast<double>(replay.wb_cleaning)));
+  m.push_back(diff_one("wb_ecc", static_cast<double>(exec.wb_ecc),
+                       static_cast<double>(replay.wb_ecc)));
+  m.push_back(diff_one("wb_total", static_cast<double>(exec.wb_total()),
+                       static_cast<double>(replay.wb_total())));
+  m.push_back(diff_one("l2_accesses", static_cast<double>(exec.l2.accesses()),
+                       static_cast<double>(replay.l2.accesses())));
+  m.push_back(diff_one("l2_misses", static_cast<double>(exec.l2.misses()),
+                       static_cast<double>(replay.l2.misses())));
+  return m;
+}
+
+std::string ValidationReport::to_text() const {
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s: exec %.2fs, replay %.2fs (%.1fx), %llu events, %llu bytes\n",
+                benchmark.c_str(), exec_seconds, replay_seconds, speedup(),
+                static_cast<unsigned long long>(trace_events),
+                static_cast<unsigned long long>(trace_bytes));
+  os << buf;
+  for (const auto& m : metrics) {
+    std::snprintf(buf, sizeof(buf), "  %-20s exec %-14.6g replay %-14.6g rel %.2e %s\n",
+                  m.name.c_str(), m.exec, m.replay, m.rel_err,
+                  m.within(tolerance) ? "ok" : "EXCEEDS TOLERANCE");
+    os << buf;
+  }
+  os << "  => " << (pass ? "PASS" : "FAIL") << " (tolerance "
+     << tolerance * 100.0 << "%)\n";
+  return os.str();
+}
+
+ValidationReport cross_validate(const sim::SystemConfig& cfg,
+                                const std::string& trace_path,
+                                double tolerance) {
+  using clock = std::chrono::steady_clock;
+  ValidationReport rep;
+  rep.benchmark = cfg.benchmark;
+  rep.trace_path = trace_path;
+  rep.tolerance = tolerance;
+
+  sim::SystemConfig exec_cfg = cfg;
+  exec_cfg.hierarchy.capture_path = trace_path;
+  const auto t0 = clock::now();
+  sim::System system(exec_cfg);
+  const sim::RunResult exec_result = system.run();
+  const auto t1 = clock::now();
+
+  ReplayConfig rc;
+  rc.hierarchy = cfg.hierarchy;
+  rc.trace_path = trace_path;
+  ReplayDriver driver(std::move(rc));
+  const auto t2 = clock::now();
+  const sim::RunResult replay_result = driver.run();
+  const auto t3 = clock::now();
+
+  rep.exec_seconds = std::chrono::duration<double>(t1 - t0).count();
+  rep.replay_seconds = std::chrono::duration<double>(t3 - t2).count();
+  rep.trace_events = driver.events_replayed();
+  if (std::FILE* f = std::fopen(trace_path.c_str(), "rb")) {
+    std::fseek(f, 0, SEEK_END);
+    const long sz = std::ftell(f);
+    if (sz > 0) rep.trace_bytes = static_cast<u64>(sz);
+    std::fclose(f);
+  }
+  rep.metrics = diff_metrics(exec_result, replay_result);
+  rep.pass = std::all_of(rep.metrics.begin(), rep.metrics.end(),
+                         [&](const MetricDiff& m) { return m.within(tolerance); });
+  return rep;
+}
+
+}  // namespace aeep::trace

@@ -1,0 +1,73 @@
+#include "trace/writer.hpp"
+
+#include <cassert>
+
+namespace aeep::trace {
+
+TraceWriter::TraceWriter(const std::string& path, u32 line_bytes,
+                         u32 chunk_events)
+    : file_(path), chunk_events_(chunk_events == 0 ? 1 : chunk_events) {
+  file_.write_u32(kTraceMagic);
+  file_.write_u32(kTraceVersion);
+  file_.write_u32(line_bytes);
+  file_.write_u32(0);  // reserved
+  payload_.reserve(static_cast<std::size_t>(chunk_events_) * 8);
+}
+
+TraceWriter::~TraceWriter() {
+  // An unfinished writer leaves a footer-less file behind, which readers
+  // reject as truncated — exactly right for a crashed capture.
+}
+
+void TraceWriter::append(const TraceEvent& e) {
+  if (finished_)
+    throw TraceError(TraceErrorKind::kIo, "append after finish: " + path());
+  if (e.tick < prev_tick_)
+    throw TraceError(TraceErrorKind::kCorrupt,
+                     "event ticks must be non-decreasing");
+  payload_.push_back(static_cast<u8>(e.kind));
+  put_varint(payload_, e.tick - prev_tick_);
+  prev_tick_ = e.tick;
+  if (e.kind != EventKind::kStatsReset) {
+    put_varint(payload_,
+               zigzag(static_cast<i64>(e.addr) - static_cast<i64>(prev_addr_)));
+    prev_addr_ = e.addr;
+  }
+  if (e.kind == EventKind::kStore) put_varint(payload_, e.value);
+  ++pending_;
+  ++events_;
+  if (pending_ >= chunk_events_) flush_chunk();
+}
+
+void TraceWriter::flush_chunk() {
+  if (pending_ == 0) return;
+  file_.write_u8(kDataChunkTag);
+  file_.write_u32(static_cast<u32>(payload_.size()));
+  file_.write_u32(pending_);
+  file_.write_u32(crc32(payload_));
+  file_.write_bytes(payload_.data(), payload_.size());
+  payload_.clear();
+  pending_ = 0;
+  prev_tick_ = 0;  // per-chunk delta restart: chunks decode independently
+  prev_addr_ = 0;
+}
+
+void TraceWriter::finish(TraceSummary summary) {
+  if (finished_) return;
+  flush_chunk();
+  summary.events = events_;
+  std::vector<u8> footer;
+  put_varint(footer, summary.end_tick);
+  put_varint(footer, summary.committed);
+  put_varint(footer, summary.loads);
+  put_varint(footer, summary.stores);
+  put_varint(footer, summary.events);
+  file_.write_u8(kFooterTag);
+  file_.write_u32(static_cast<u32>(footer.size()));
+  file_.write_u32(crc32(footer));
+  file_.write_bytes(footer.data(), footer.size());
+  file_.close();
+  finished_ = true;
+}
+
+}  // namespace aeep::trace

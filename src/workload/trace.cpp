@@ -2,6 +2,9 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <vector>
+
+#include "trace/io.hpp"
 
 namespace aeep::workload {
 
@@ -56,52 +59,58 @@ cpu::MicroOp from_record(const TraceRecord& r) {
 
 }  // namespace
 
-TraceWriter::TraceWriter(const std::string& path)
-    : file_(std::fopen(path.c_str(), "wb")) {
-  if (!file_) throw std::runtime_error("cannot open trace for writing: " + path);
-  // Placeholder header; count patched in close().
-  const TraceHeader h{kTraceMagic, kTraceVersion, 0};
-  std::fwrite(&h, sizeof h, 1, file_);
+// Records buffer in memory and hit the disk once in close(): the header
+// carries the final count up front, and the checked FileWriter (trace/io)
+// replaces the old raw fwrite + fseek-patching scheme.
+TraceWriter::TraceWriter(const std::string& path) : path_(path), open_(true) {}
+
+TraceWriter::~TraceWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; an unwritable path surfaced in close().
+  }
 }
 
-TraceWriter::~TraceWriter() { close(); }
-
 void TraceWriter::append(const cpu::MicroOp& op) {
-  if (!file_) throw std::logic_error("trace writer already closed");
+  if (!open_) throw std::logic_error("trace writer already closed");
   const TraceRecord r = to_record(op);
-  if (std::fwrite(&r, sizeof r, 1, file_) != 1)
-    throw std::runtime_error("trace write failed");
+  const u8* bytes = reinterpret_cast<const u8*>(&r);
+  records_.insert(records_.end(), bytes, bytes + sizeof r);
   ++count_;
 }
 
 void TraceWriter::close() {
-  if (!file_) return;
+  if (!open_) return;
+  open_ = false;
+  trace::FileWriter out(path_);
   const TraceHeader h{kTraceMagic, kTraceVersion, count_};
-  std::fseek(file_, 0, SEEK_SET);
-  std::fwrite(&h, sizeof h, 1, file_);
-  std::fclose(file_);
-  file_ = nullptr;
+  out.write_bytes(&h, sizeof h);
+  out.write_bytes(records_.data(), records_.size());
+  out.close();
+  records_.clear();
 }
 
 TraceReplaySource::TraceReplaySource(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) throw std::runtime_error("cannot open trace: " + path);
+  trace::FileReader in(path);
   TraceHeader h{};
-  if (std::fread(&h, sizeof h, 1, f) != 1 || h.magic != kTraceMagic ||
-      h.version != kTraceVersion) {
-    std::fclose(f);
+  try {
+    in.read_bytes(&h, sizeof h);
+  } catch (const trace::TraceError&) {
     throw std::runtime_error("bad trace header: " + path);
   }
+  if (h.magic != kTraceMagic || h.version != kTraceVersion)
+    throw std::runtime_error("bad trace header: " + path);
   ops_.reserve(h.count);
   TraceRecord r{};
   for (u64 i = 0; i < h.count; ++i) {
-    if (std::fread(&r, sizeof r, 1, f) != 1) {
-      std::fclose(f);
+    try {
+      in.read_bytes(&r, sizeof r);
+    } catch (const trace::TraceError&) {
       throw std::runtime_error("truncated trace: " + path);
     }
     ops_.push_back(from_record(r));
   }
-  std::fclose(f);
   if (ops_.empty()) throw std::runtime_error("empty trace: " + path);
 }
 

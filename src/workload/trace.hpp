@@ -6,9 +6,12 @@
 // trace sources (e.g. converted real-application traces) into the timing
 // model. Binary format: 16-byte header (magic, version, count) followed by
 // fixed-size little-endian records.
+//
+// Note this records *micro-ops* feeding the core; the L2-visible access
+// trace the `--frontend=trace` replay engine consumes is the separate,
+// delta-compressed format in src/trace/.
 #pragma once
 
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,13 +33,15 @@ class TraceWriter {
   TraceWriter& operator=(const TraceWriter&) = delete;
 
   void append(const cpu::MicroOp& op);
-  /// Finalizes the header (count) and closes the file.
+  /// Writes header + records and closes the file.
   void close();
 
   u64 count() const { return count_; }
 
  private:
-  std::FILE* file_;
+  std::string path_;
+  std::vector<u8> records_;
+  bool open_ = false;
   u64 count_ = 0;
 };
 

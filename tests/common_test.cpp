@@ -8,6 +8,7 @@
 
 #include "common/bitops.hpp"
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -222,6 +223,65 @@ TEST(Table, RendersAlignedRows) {
 TEST(Table, Formatting) {
   EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
   EXPECT_EQ(TextTable::pct(0.125, 1), "12.5%");
+}
+
+// --- JSON string escaping -------------------------------------------------
+// Bench tags and benchmark names flow into --json files verbatim; every
+// byte a caller can put in a std::string must come out as valid JSON.
+
+TEST(JsonEscape, QuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("C:\\temp\\x"), "C:\\\\temp\\\\x");
+  EXPECT_EQ(json_escape("\\\""), "\\\\\\\"");
+  // Already-escaped input must not be double-unescaped: the escaper is
+  // byte-level, so a literal backslash-n becomes backslash-backslash-n.
+  EXPECT_EQ(json_escape("\\n"), "\\\\n");
+}
+
+TEST(JsonEscape, ShortControlEscapes) {
+  EXPECT_EQ(json_escape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+}
+
+TEST(JsonEscape, RemainingControlCharsAreUnicodeEscaped) {
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+  // Embedded NUL must survive as \u0000, not truncate the string.
+  std::string with_nul = "a";
+  with_nul += '\0';
+  with_nul += "b";
+  EXPECT_EQ(json_escape(with_nul), "a\\u0000b");
+}
+
+TEST(JsonEscape, NonAsciiBytesPassThrough) {
+  // UTF-8 multi-byte sequences (and any byte >= 0x20) are emitted raw:
+  // JSON strings are UTF-8, and \u-escaping them would need surrogate
+  // handling for no benefit. High bytes must not be sign-extended into
+  // bogus \uffXX escapes.
+  const std::string utf8 = "caf\xc3\xa9 \xe2\x82\xac";  // "café €"
+  EXPECT_EQ(json_escape(utf8), utf8);
+  EXPECT_EQ(json_escape(std::string(1, '\x80')), std::string(1, '\x80'));
+  EXPECT_EQ(json_escape(std::string(1, '\xff')), std::string(1, '\xff'));
+}
+
+TEST(JsonValue, DumpEscapesKeysAndValues) {
+  JsonValue obj = JsonValue::object();
+  obj.set("tab\there", JsonValue::string("line\nbreak \"quoted\""));
+  const std::string text = obj.dump(0);
+  EXPECT_EQ(text, "{\"tab\\there\": \"line\\nbreak \\\"quoted\\\"\"}");
+}
+
+TEST(JsonValue, DumpEmitsNoRawControlBytes) {
+  // There is no JSON parser in-tree, so the round-trip property is checked
+  // structurally: a string containing every escape class dumps to text with
+  // no raw control bytes anywhere.
+  JsonValue obj = JsonValue::object();
+  std::string nasty = "\"\\\b\f\n\r\t";
+  nasty += '\x01';
+  nasty += "\xc3\xa9";
+  obj.set("k", JsonValue::string(nasty));
+  const std::string text = obj.dump(0);
+  for (const char c : text)
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << "raw control byte";
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <set>
 #include <vector>
 
+#include "cache/write_buffer.hpp"
 #include "sim/sweep.hpp"
 
 namespace aeep::sim {
@@ -122,6 +123,22 @@ TEST(SweepRunner, DefaultJobsIsAtLeastOne) {
   EXPECT_GE(SweepRunner::default_jobs(), 1u);
   EXPECT_EQ(SweepRunner(0).jobs(), SweepRunner::default_jobs());
   EXPECT_EQ(SweepRunner(5).jobs(), 5u);
+}
+
+TEST(SweepRunner, WriteBufferFreeListStaysBounded) {
+  // Recycled line storage must never outgrow min(capacity, kFreeListBound),
+  // and every run should report the high-water mark it actually reached.
+  const auto grid = small_grid();
+  const std::vector<RunResult> results = SweepRunner(2).run_or_throw(grid);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    EXPECT_LE(r.wbuf.free_list_peak,
+              std::min<std::size_t>(16, cache::WriteBuffer::kFreeListBound))
+        << grid[i].benchmark << ":" << grid[i].tag;
+    EXPECT_GT(r.wbuf.free_list_peak, 0u)
+        << grid[i].benchmark << ":" << grid[i].tag
+        << " drained stores without ever recycling storage";
+  }
 }
 
 TEST(RunSuite, ParallelSuiteMatchesSerialSuite) {

@@ -7,15 +7,21 @@ changed cells layout) fails the build even though the metric *values*
 legitimately differ between machines and runs.
 
 Usage: check_bench_schema.py BASELINE.json FRESH.json
+       check_bench_schema.py --self-test
 
 Rules:
-  - Objects must have exactly the same key sets, recursively.
+  - Objects must have exactly the same key sets, recursively. Every missing
+    or unexpected key is reported on its own line with its exact full path
+    (e.g. `$.config.frontend: missing in fresh`), so the offending key can
+    be grepped straight out of the bench source.
   - Arrays are compared element-wise against the baseline's first element
     (cells all share one shape; an empty fresh array is a failure when the
     baseline has elements).
   - Leaf types must match (number vs string vs bool vs null), except that a
     baseline number matches any fresh number.
 Exits 0 when the shapes match, 1 with a per-path diff otherwise.
+`--self-test` runs the checker against built-in fixtures (CI invokes it so
+a broken checker cannot silently wave drift through).
 """
 
 import json
@@ -44,12 +50,10 @@ def diff_shapes(base, fresh, path, errors):
         errors.append(f"{path}: baseline is {bt}, fresh is {ft}")
         return
     if bt == "object":
-        missing = sorted(set(base) - set(fresh))
-        extra = sorted(set(fresh) - set(base))
-        if missing:
-            errors.append(f"{path}: fresh is missing keys {missing}")
-        if extra:
-            errors.append(f"{path}: fresh has unexpected keys {extra}")
+        for key in sorted(set(base) - set(fresh)):
+            errors.append(f"{path}.{key}: missing in fresh")
+        for key in sorted(set(fresh) - set(base)):
+            errors.append(f"{path}.{key}: unexpected in fresh")
         for key in sorted(set(base) & set(fresh)):
             diff_shapes(base[key], fresh[key], f"{path}.{key}", errors)
     elif bt == "array":
@@ -60,10 +64,63 @@ def diff_shapes(base, fresh, path, errors):
                 diff_shapes(base[0], elem, f"{path}[{i}]", errors)
 
 
+def self_test():
+    """Fixture pairs: (baseline, fresh, expected error lines)."""
+    cases = [
+        ({"a": 1, "b": "x"}, {"a": 2.5, "b": "y"}, []),
+        ({"a": 1}, {"a": "s"}, ["$.a: baseline is number, fresh is string"]),
+        (
+            {"config": {"seed": 1, "frontend": "exec"}},
+            {"config": {"seed": 1}},
+            ["$.config.frontend: missing in fresh"],
+        ),
+        (
+            {"config": {"seed": 1}},
+            {"config": {"seed": 1, "bogus": 0}},
+            ["$.config.bogus: unexpected in fresh"],
+        ),
+        (
+            {"cells": [{"tag": "a", "m": {"ipc": 1.0}}]},
+            {"cells": [{"tag": "b", "m": {"ipc": 2.0}},
+                       {"tag": "c", "m": {}}]},
+            ["$.cells[1].m.ipc: missing in fresh"],
+        ),
+        ({"cells": [1]}, {"cells": []},
+         ["$.cells: baseline has elements, fresh is empty"]),
+        (
+            {"x": {"deep": {"gone": 1, "also_gone": 2}}},
+            {"x": {"deep": {"added": 3}}},
+            [
+                "$.x.deep.also_gone: missing in fresh",
+                "$.x.deep.gone: missing in fresh",
+                "$.x.deep.added: unexpected in fresh",
+            ],
+        ),
+    ]
+    failed = 0
+    for i, (base, fresh, expected) in enumerate(cases):
+        errors = []
+        diff_shapes(base, fresh, "$", errors)
+        if errors != expected:
+            failed += 1
+            print(f"self-test case {i} FAILED:", file=sys.stderr)
+            print(f"  expected: {expected}", file=sys.stderr)
+            print(f"  got:      {errors}", file=sys.stderr)
+    if failed:
+        print(f"self-test: {failed}/{len(cases)} cases failed",
+              file=sys.stderr)
+        return 1
+    print(f"self-test: all {len(cases)} cases pass")
+    return 0
+
+
 def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
     if len(argv) != 3:
         print(__doc__.strip().splitlines()[0], file=sys.stderr)
-        print(f"usage: {argv[0]} BASELINE.json FRESH.json", file=sys.stderr)
+        print(f"usage: {argv[0]} BASELINE.json FRESH.json | --self-test",
+              file=sys.stderr)
         return 2
     with open(argv[1]) as f:
         base = json.load(f)

@@ -18,6 +18,11 @@
 #     return std::vector: the line-codec hot path is allocation-free by
 #     contract (callers bring scratch buffers). Allocating conveniences are
 #     fine but must be named *_alloc so the cost is visible at call sites.
+#  5. No raw fread/fwrite outside src/trace/: binary file I/O must go
+#     through trace::FileReader/FileWriter (trace/io.hpp), which turn short
+#     reads/writes into typed TraceErrors instead of silently-ignored return
+#     values. Tests are exempt — they deliberately craft truncated/corrupt
+#     files to exercise those error paths.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -61,6 +66,15 @@ hits=$(grep -rnE 'std::vector<[^>]+>[[:space:]]+[A-Za-z_:]*(encode|decode)[[:spa
 if [[ -n "$hits" ]]; then
   report "std::vector-returning encode()/decode() is banned under src/ecc/;
 use the span scratch-buffer API, or name the convenience *_alloc" "$hits"
+fi
+
+# --- Rule 5: raw fread/fwrite outside the trace I/O helpers ----------------
+hits=$(grep -rnE '\bstd::f(read|write)\(|(^|[^:_[:alnum:]])f(read|write)\(' \
+         src tools bench examples "${CXX_GLOBS[@]}" \
+         | grep -v '^src/trace/io\.' || true)
+if [[ -n "$hits" ]]; then
+  report "raw fread()/fwrite() outside src/trace/io is banned;
+use trace::FileReader/FileWriter so short I/O raises a typed error" "$hits"
 fi
 
 if [[ $fail -eq 0 ]]; then

@@ -1,0 +1,201 @@
+// aeep_trace — capture, replay, cross-validate and inspect L2 access traces.
+//
+//   aeep_trace capture  --benchmark=gzip --out=gzip.aeept [run/scheme opts]
+//   aeep_trace replay   --trace=gzip.aeept [--benchmark=gzip] [scheme opts]
+//   aeep_trace validate --benchmarks=gzip,mcf --trace-dir=DIR [--tolerance=0.01]
+//   aeep_trace info     --trace=gzip.aeept
+//
+// `validate` is the cross-validation gate CI runs: each benchmark is run
+// execution-driven (capturing), replayed trace-driven, and the dirty-ratio /
+// WB / Clean-WB / ECC-WB metrics must agree within the tolerance. Exit code
+// is non-zero when any metric diverges. Run/scheme options shared by the
+// subcommands: --instructions, --warmup, --seed, --scheme=uniform|nonuniform|
+// shared, --interval (cleaning interval, cycles), --entries (shared-ECC
+// entries per set).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "sim/experiment.hpp"
+#include "trace/reader.hpp"
+#include "trace/replay.hpp"
+#include "trace/validate.hpp"
+
+using namespace aeep;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: aeep_trace <capture|replay|validate|info> [--flags]\n"
+               "  capture  --benchmark=NAME --out=FILE [run/scheme opts]\n"
+               "  replay   --trace=FILE [--benchmark=NAME] [run/scheme opts]\n"
+               "  validate --benchmarks=A,B,... --trace-dir=DIR "
+               "[--tolerance=0.01] [run/scheme opts]\n"
+               "  info     --trace=FILE\n");
+  return 2;
+}
+
+sim::ExperimentOptions parse_experiment(const CliArgs& args) {
+  sim::ExperimentOptions eo;
+  eo.instructions = args.get_u64("instructions", 200'000);
+  eo.warmup_instructions = args.get_u64("warmup", 20'000);
+  eo.seed = args.get_u64("seed", 42);
+  eo.cleaning_interval = args.get_u64("interval", 256 * 1024);
+  eo.ecc_entries_per_set =
+      static_cast<unsigned>(args.get_u64("entries", 1));
+  const std::string scheme = args.get("scheme", "shared");
+  if (scheme == "uniform") eo.scheme = protect::SchemeKind::kUniformEcc;
+  else if (scheme == "nonuniform") eo.scheme = protect::SchemeKind::kNonUniform;
+  else if (scheme == "shared") eo.scheme = protect::SchemeKind::kSharedEccArray;
+  else {
+    std::fprintf(stderr, "unknown --scheme=%s (uniform|nonuniform|shared)\n",
+                 scheme.c_str());
+    std::exit(2);
+  }
+  return eo;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string item = s.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+void print_run(const sim::RunResult& r) {
+  std::printf("  avg_dirty_fraction  %.6f\n", r.avg_dirty_fraction);
+  std::printf("  wb_replacement      %llu\n",
+              static_cast<unsigned long long>(r.wb_replacement));
+  std::printf("  wb_cleaning         %llu\n",
+              static_cast<unsigned long long>(r.wb_cleaning));
+  std::printf("  wb_ecc              %llu\n",
+              static_cast<unsigned long long>(r.wb_ecc));
+  std::printf("  l2 accesses/misses  %llu / %llu\n",
+              static_cast<unsigned long long>(r.l2.accesses()),
+              static_cast<unsigned long long>(r.l2.misses()));
+  std::printf("  committed/cycles    %llu / %llu (ipc %.3f)\n",
+              static_cast<unsigned long long>(r.core.committed),
+              static_cast<unsigned long long>(r.core.cycles), r.ipc());
+}
+
+int cmd_capture(const CliArgs& args) {
+  const std::string benchmark = args.get("benchmark", "");
+  const std::string out = args.get("out", "");
+  if (benchmark.empty() || out.empty()) return usage();
+  sim::ExperimentOptions eo = parse_experiment(args);
+  eo.capture_path = out;
+  const sim::RunResult r = sim::run_benchmark(benchmark, eo);
+  std::printf("captured %s -> %s\n", benchmark.c_str(), out.c_str());
+  print_run(r);
+  return 0;
+}
+
+int cmd_replay(const CliArgs& args) {
+  const std::string path = args.get("trace", "");
+  if (path.empty()) return usage();
+  const std::string benchmark = args.get("benchmark", "");
+  sim::ExperimentOptions eo = parse_experiment(args);
+  eo.frontend = sim::Frontend::kTrace;
+  eo.trace_path = path;
+  sim::RunResult r;
+  if (!benchmark.empty()) {
+    r = sim::run_benchmark(benchmark, eo);
+  } else {
+    // Externally ingested stream: no workload profile to look up.
+    trace::ReplayConfig rc;
+    rc.hierarchy = sim::make_system_config("gzip", eo).hierarchy;
+    rc.trace_path = path;
+    r = trace::ReplayDriver(std::move(rc)).run();
+  }
+  std::printf("replayed %s\n", path.c_str());
+  print_run(r);
+  return 0;
+}
+
+int cmd_validate(const CliArgs& args) {
+  const std::string dir = args.get("trace-dir", ".");
+  const double tolerance = args.get_double("tolerance", 0.01);
+  const std::vector<std::string> benchmarks =
+      split_csv(args.get("benchmarks", "gzip,mcf"));
+  const sim::ExperimentOptions eo = parse_experiment(args);
+  bool all_pass = true;
+  double exec_total = 0.0, replay_total = 0.0;
+  for (const auto& b : benchmarks) {
+    const sim::SystemConfig cfg = sim::make_system_config(b, eo);
+    const trace::ValidationReport rep =
+        trace::cross_validate(cfg, dir + "/" + b + ".aeept", tolerance);
+    std::printf("%s", rep.to_text().c_str());
+    all_pass = all_pass && rep.pass;
+    exec_total += rep.exec_seconds;
+    replay_total += rep.replay_seconds;
+  }
+  if (replay_total > 0.0)
+    std::printf("overall: exec %.2fs, replay %.2fs, per-cell speedup %.1fx\n",
+                exec_total, replay_total, exec_total / replay_total);
+  std::printf("cross-validation %s\n", all_pass ? "PASS" : "FAIL");
+  return all_pass ? 0 : 1;
+}
+
+int cmd_info(const CliArgs& args) {
+  const std::string path = args.get("trace", "");
+  if (path.empty()) return usage();
+  trace::TraceReader reader(path);
+  trace::TraceEvent e;
+  u64 counts[4] = {0, 0, 0, 0};
+  Cycle first_tick = 0, last_tick = 0;
+  bool any = false;
+  while (reader.next(e)) {
+    ++counts[static_cast<unsigned>(e.kind)];
+    if (!any) first_tick = e.tick;
+    last_tick = e.tick;
+    any = true;
+  }
+  const trace::TraceSummary& s = reader.summary();
+  std::printf("%s: format v%u, line_bytes %u\n", path.c_str(),
+              trace::kTraceVersion, reader.line_bytes());
+  std::printf("  events   %llu in %llu chunks (fetch %llu, load %llu, "
+              "store %llu, reset %llu)\n",
+              static_cast<unsigned long long>(reader.events_read()),
+              static_cast<unsigned long long>(reader.chunks_read()),
+              static_cast<unsigned long long>(counts[0]),
+              static_cast<unsigned long long>(counts[1]),
+              static_cast<unsigned long long>(counts[2]),
+              static_cast<unsigned long long>(counts[3]));
+  std::printf("  ticks    %llu .. %llu, end %llu\n",
+              static_cast<unsigned long long>(first_tick),
+              static_cast<unsigned long long>(last_tick),
+              static_cast<unsigned long long>(s.end_tick));
+  std::printf("  summary  committed %llu, loads %llu, stores %llu\n",
+              static_cast<unsigned long long>(s.committed),
+              static_cast<unsigned long long>(s.loads),
+              static_cast<unsigned long long>(s.stores));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const CliArgs args(argc - 1, argv + 1);
+  try {
+    if (cmd == "capture") return cmd_capture(args);
+    if (cmd == "replay") return cmd_replay(args);
+    if (cmd == "validate") return cmd_validate(args);
+    if (cmd == "info") return cmd_info(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "aeep_trace %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}
