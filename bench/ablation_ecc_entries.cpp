@@ -13,7 +13,7 @@
 using namespace aeep;
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args = parse_cli_or_exit(argc, argv);
   const bench::CommonOptions opt = bench::parse_common(args);
   const u64 interval = args.get_u64("interval", u64{1} << 20);
   bench::reject_unknown_flags(args);

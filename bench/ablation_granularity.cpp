@@ -84,7 +84,7 @@ double double_strike_due_rate(unsigned granule_bits, u64 trials, u64 seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args = parse_cli_or_exit(argc, argv);
   const u64 trials = args.get_u64("trials", 20000);
   const u64 seed = args.get_u64("seed", 42);
   std::printf("=== Ablation: SECDED protection granularity (64B line) ===\n\n");

@@ -26,7 +26,7 @@ void print_report(const protect::AreaReport& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args = parse_cli_or_exit(argc, argv);
   bench::reject_unknown_flags(args);
   std::printf("=== Area overhead for error protection (paper §5.2) ===\n\n");
 

@@ -28,7 +28,7 @@ protect::EnergyEvents events_from(const sim::RunResult& r,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args = parse_cli_or_exit(argc, argv);
   bench::CommonOptions opt = bench::parse_common(args);
   const std::string bench_name = args.get("benchmark", "gcc");
   const u64 interval = args.get_u64("interval", u64{1} << 20);

@@ -50,7 +50,7 @@ Row run_campaign(const std::string& bench_name, protect::SchemeKind scheme,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args = parse_cli_or_exit(argc, argv);
   bench::CommonOptions opt = bench::parse_common(args);
   bench::require_exec_frontend(opt, "fault campaigns inject into the execution-driven run");
   opt.instructions = args.get_u64("instructions", 500'000);

@@ -11,7 +11,7 @@
 using namespace aeep;
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args = parse_cli_or_exit(argc, argv);
   const bench::CommonOptions opt = bench::parse_common(args);
   bench::reject_unknown_flags(args);
   bench::print_header("Figure 1: dirty lines per cycle, baseline L2", opt);

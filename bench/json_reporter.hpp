@@ -25,6 +25,7 @@
 
 #include "bench_util.hpp"
 #include "common/json.hpp"
+#include "sim/result_json.hpp"
 #include "sim/system.hpp"
 
 namespace aeep::bench {
@@ -46,25 +47,11 @@ inline std::string git_short_rev() {
   return rev;
 }
 
-/// The per-run metrics every bench exports, in one stable key order.
+/// The per-run metrics every bench exports, in one stable key order —
+/// the same rendering the aeep_served wire protocol uses, so a bench cell
+/// and a server job result are key-for-key comparable.
 inline JsonValue run_result_metrics(const sim::RunResult& r) {
-  JsonValue m = JsonValue::object();
-  m.set("ipc", JsonValue::number(r.ipc()));
-  m.set("committed", JsonValue::number(r.core.committed));
-  m.set("cycles", JsonValue::number(r.core.cycles));
-  m.set("avg_dirty_fraction", JsonValue::number(r.avg_dirty_fraction));
-  m.set("avg_dirty_lines", JsonValue::number(r.avg_dirty_lines));
-  m.set("peak_dirty_lines", JsonValue::number(r.peak_dirty_lines));
-  m.set("wb_replacement", JsonValue::number(r.wb_replacement));
-  m.set("wb_cleaning", JsonValue::number(r.wb_cleaning));
-  m.set("wb_ecc", JsonValue::number(r.wb_ecc));
-  m.set("wb_total", JsonValue::number(r.wb_total()));
-  m.set("wb_per_kls",
-        JsonValue::number(r.wb_per_ls() * 1000.0));
-  m.set("l2_accesses", JsonValue::number(r.l2.accesses()));
-  m.set("l2_misses", JsonValue::number(r.l2.misses()));
-  m.set("bus_bytes_written", JsonValue::number(r.bus.bytes_written));
-  return m;
+  return sim::run_result_json(r);
 }
 
 /// Accumulates one bench invocation's results and writes the --json file.

@@ -80,7 +80,7 @@ std::string rate(double words_per_sec) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args = parse_cli_or_exit(argc, argv);
   const bench::CommonOptions opt = bench::parse_common(args);
   const u64 lines = args.get_u64("lines", u64{1} << 16);
   bench::reject_unknown_flags(args);

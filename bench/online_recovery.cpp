@@ -28,7 +28,7 @@ std::string rate_label(double scale) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args = parse_cli_or_exit(argc, argv);
   bench::CommonOptions opt = bench::parse_common(args);
   bench::require_exec_frontend(opt, "online strike campaigns need the live core clock");
   opt.instructions = args.get_u64("instructions", 400'000);

@@ -12,7 +12,7 @@
 using namespace aeep;
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args = parse_cli_or_exit(argc, argv);
   bench::CommonOptions opt = bench::parse_common(args);
   const std::string bench_name = args.get("benchmark", "swim");
   const double lambda = args.get_double("fitlambda", 1e-19);

@@ -90,7 +90,7 @@ Outcome run_campaign(protect::SchemeKind scheme, unsigned epochs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args = parse_cli_or_exit(argc, argv);
   bench::CommonOptions opt = bench::parse_common(args);
   bench::require_exec_frontend(opt, "scrub scheduling is driven by the live core clock");
   opt.instructions = args.get_u64("instructions", 400'000);

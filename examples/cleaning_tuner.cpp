@@ -14,7 +14,7 @@
 using namespace aeep;
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args = parse_cli_or_exit(argc, argv);
   const std::string bench = args.get("benchmark", "swim");
   const std::string scheme_name = args.get("scheme", "nonuniform");
   sim::ExperimentOptions base;

@@ -16,7 +16,7 @@
 using namespace aeep;
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args = parse_cli_or_exit(argc, argv);
   const std::string bench = args.get("benchmark", "vpr");
   const std::string scheme_name = args.get("scheme", "shared");
   const u64 injections = args.get_u64("injections", 5000);

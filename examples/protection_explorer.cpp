@@ -14,7 +14,7 @@
 using namespace aeep;
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args = parse_cli_or_exit(argc, argv);
   const std::string bench = args.get("benchmark", "gcc");
   const u64 interval = args.get_u64("interval", u64{1} << 20);
   const u64 l2kb = args.get_u64("l2kb", 1024);

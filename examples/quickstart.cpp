@@ -13,7 +13,7 @@
 using namespace aeep;
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args = parse_cli_or_exit(argc, argv);
   const std::string bench = args.get("benchmark", "gzip");
   sim::ExperimentOptions base;
   base.instructions = args.get_u64("instructions", 2'000'000);

@@ -16,7 +16,7 @@
 using namespace aeep;
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args = parse_cli_or_exit(argc, argv);
 
   sim::ExperimentOptions eo;
   const std::string bench = args.get("benchmark", "gzip");
@@ -86,10 +86,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.retired_ways),
               100.0 * r.retired_capacity_fraction);
 
-  const auto& log = system.hierarchy().l2().recovery().error_log();
-  const u64 overflow = system.hierarchy().l2().recovery().error_log_overflow();
-  std::printf("\nMCA error log (%zu entries kept, %llu overflowed):\n",
-              log.size(), static_cast<unsigned long long>(overflow));
+  const auto log = system.hierarchy().l2().recovery().error_log();
+  const u64 dropped = system.hierarchy().l2().recovery().error_log_dropped();
+  std::printf("\nMCA error log (%zu newest entries kept, %llu dropped):\n",
+              log.size(), static_cast<unsigned long long>(dropped));
   TextTable tl({"cycle", "set", "way", "dirty", "outcome", "action", "retries"});
   const std::size_t show = log.size() < 12 ? log.size() : 12;
   for (std::size_t i = 0; i < show; ++i) {

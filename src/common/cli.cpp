@@ -1,5 +1,6 @@
 #include "common/cli.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -10,11 +11,17 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       const auto eq = arg.find('=');
+      std::string key, value;
       if (eq == std::string::npos) {
-        kv_[arg.substr(2)] = "true";
+        key = arg.substr(2);
+        value = "true";
       } else {
-        kv_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        key = arg.substr(2, eq - 2);
+        value = arg.substr(eq + 1);
       }
+      if (!kv_.emplace(key, std::move(value)).second)
+        throw std::invalid_argument("duplicate flag --" + key +
+                                    " (each flag may be given once)");
     } else {
       positionals_.push_back(std::move(arg));
     }
@@ -72,6 +79,15 @@ std::vector<std::string> CliArgs::queried() const {
     out.push_back(k);
   }
   return out;
+}
+
+CliArgs parse_cli_or_exit(int argc, const char* const* argv) {
+  try {
+    return CliArgs(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
 }
 
 std::vector<std::string> CliArgs::unused() const {

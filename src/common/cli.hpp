@@ -14,6 +14,10 @@ namespace aeep {
 /// arguments are retained in positionals().
 class CliArgs {
  public:
+  /// Throws std::invalid_argument when the same --flag appears twice: a
+  /// duplicated flag is almost always a copy-paste error, and silently
+  /// taking the last value hides it (a sweep launched with
+  /// `--seed=1 ... --seed=7` would quietly ignore the first seed).
   CliArgs(int argc, const char* const* argv);
 
   bool has(const std::string& key) const;
@@ -36,5 +40,9 @@ class CliArgs {
   mutable std::map<std::string, bool> queried_;
   std::vector<std::string> positionals_;
 };
+
+/// CliArgs for a main(): constructor errors (duplicate flags) print to
+/// stderr and exit(2) instead of escaping as an unhandled exception.
+CliArgs parse_cli_or_exit(int argc, const char* const* argv);
 
 }  // namespace aeep

@@ -1,8 +1,10 @@
 #include "common/json.hpp"
 
 #include <cassert>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace aeep {
@@ -73,6 +75,50 @@ const JsonValue* JsonValue::find(const std::string& key) const {
     if (k == key) return &v;
   }
   return nullptr;
+}
+
+bool JsonValue::as_bool(bool def) const {
+  return kind_ == Kind::kBool ? bool_ : def;
+}
+
+u64 JsonValue::as_u64(u64 def) const {
+  if (kind_ == Kind::kUint) return uint_;
+  if (kind_ == Kind::kDouble && double_ >= 0.0 &&
+      double_ < 18446744073709551616.0 &&  // 2^64
+      double_ == std::floor(double_))
+    return static_cast<u64>(double_);
+  return def;
+}
+
+double JsonValue::as_double(double def) const {
+  if (kind_ == Kind::kDouble) return double_;
+  if (kind_ == Kind::kUint) return static_cast<double>(uint_);
+  return def;
+}
+
+std::string JsonValue::as_string(const std::string& def) const {
+  return kind_ == Kind::kString ? string_ : def;
+}
+
+bool JsonValue::get_bool(const std::string& key, bool def) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_bool(def) : def;
+}
+
+u64 JsonValue::get_u64(const std::string& key, u64 def) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_u64(def) : def;
+}
+
+double JsonValue::get_double(const std::string& key, double def) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_double(def) : def;
+}
+
+std::string JsonValue::get_string(const std::string& key,
+                                  const std::string& def) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_string(def) : def;
 }
 
 std::string json_escape(const std::string& s) {
@@ -190,6 +236,281 @@ std::string JsonValue::dump(int indent) const {
   std::string out;
   dump_to(out, indent, 0);
   return out;
+}
+
+// --- Parser ----------------------------------------------------------------
+
+namespace {
+
+constexpr int kMaxParseDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    std::optional<JsonValue> v = value(0);
+    if (v) {
+      skip_ws();
+      if (pos_ != text_.size()) {
+        v.reset();
+        fail("trailing data after document");
+      }
+    }
+    if (!v && error) *error = error_;
+    return v;
+  }
+
+ private:
+  std::optional<JsonValue> fail(const std::string& what) {
+    if (error_.empty())
+      error_ = what + " at byte " + std::to_string(pos_);
+    return std::nullopt;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<JsonValue> value(int depth) {
+    if (depth > kMaxParseDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n': return literal("null") ? std::optional<JsonValue>(JsonValue::null())
+                                       : fail("bad literal");
+      case 't': return literal("true")
+                           ? std::optional<JsonValue>(JsonValue::boolean(true))
+                           : fail("bad literal");
+      case 'f': return literal("false")
+                           ? std::optional<JsonValue>(JsonValue::boolean(false))
+                           : fail("bad literal");
+      case '"': {
+        std::string s;
+        if (!string_body(s)) return std::nullopt;
+        return JsonValue::string(std::move(s));
+      }
+      case '[': return array_body(depth);
+      case '{': return object_body(depth);
+      default: return number_body();
+    }
+  }
+
+  bool string_body(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+        return false;
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= text_.size()) {
+        fail("dangling escape");
+        return false;
+      }
+      const char e = text_[pos_ + 1];
+      pos_ += 2;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!hex4(cp)) return false;
+          // Surrogate pair: combine; a lone surrogate degrades to U+FFFD.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            unsigned lo = 0;
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              if (!hex4(lo)) return false;
+            }
+            if (lo >= 0xDC00 && lo <= 0xDFFF)
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            else
+              cp = 0xFFFD;
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            cp = 0xFFFD;
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+      return false;
+    }
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      unsigned digit;
+      if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A' + 10);
+      else {
+        fail("bad hex digit in \\u escape");
+        return false;
+      }
+      out = (out << 4) | digit;
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::optional<JsonValue> number_body() {
+    const std::size_t start = pos_;
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    if (integral && token[0] != '-') {
+      const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+      if (errno == 0 && end && *end == '\0') return JsonValue::number(u64{v});
+      // Out-of-range integers fall through to double (lossy but parseable).
+    }
+    errno = 0;
+    const double d = std::strtod(token.c_str(), &end);
+    if (!end || *end != '\0' || errno == ERANGE) {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    return JsonValue::number(d);
+  }
+
+  std::optional<JsonValue> array_body(int depth) {
+    ++pos_;  // '['
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      std::optional<JsonValue> v = value(depth + 1);
+      if (!v) return std::nullopt;
+      arr.push(std::move(*v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return arr;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::optional<JsonValue> object_body(int depth) {
+    ++pos_;  // '{'
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected object key");
+      std::string key;
+      if (!string_body(key)) return std::nullopt;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':')
+        return fail("expected ':' after key");
+      ++pos_;
+      std::optional<JsonValue> v = value(depth + 1);
+      if (!v) return std::nullopt;
+      obj.set(key, std::move(*v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return obj;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text, std::string* error) {
+  return Parser(text).parse(error);
 }
 
 }  // namespace aeep

@@ -1,13 +1,19 @@
-// Minimal JSON document builder for machine-readable bench output.
+// Minimal JSON document builder + parser for machine-readable bench output
+// and the aeep_served wire protocol.
 //
 // Deliberately tiny: only what a stable, diffable results schema needs —
 // objects with insertion-ordered keys (so two runs of the same bench emit
 // byte-comparable files), arrays, strings, bools, unsigned integers and
 // doubles. Doubles render with %.17g so every distinct value round-trips
-// and equal values serialise identically across runs.
+// and equal values serialise identically across runs. The parser is the
+// inverse: strict recursive descent with a depth limit, returning the same
+// JsonValue shape, so a frame can cross a socket as dump() and come back
+// through json_parse() unchanged.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -27,8 +33,33 @@ class JsonValue {
   static JsonValue array();
   static JsonValue object();
 
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const {
+    return kind_ == Kind::kUint || kind_ == Kind::kDouble;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
   bool is_object() const { return kind_ == Kind::kObject; }
   bool is_array() const { return kind_ == Kind::kArray; }
+
+  // --- Checked readers (the wire-protocol accessors) -----------------------
+  // Each returns `def` when the value has a different kind, so request
+  // handlers can read optional fields without kind-switching; pair with
+  // is_*() when absence must be distinguished from the default.
+  bool as_bool(bool def = false) const;
+  /// kUint directly; a kDouble that is an exact non-negative integer within
+  /// u64 range converts (parsers on the far side may not keep the split).
+  u64 as_u64(u64 def = 0) const;
+  double as_double(double def = 0.0) const;
+  std::string as_string(const std::string& def = {}) const;
+
+  /// Convenience: object member's accessor, with `def` when the member is
+  /// absent or kind-mismatched. `j.get_u64("seed", 42)` style.
+  bool get_bool(const std::string& key, bool def = false) const;
+  u64 get_u64(const std::string& key, u64 def = 0) const;
+  double get_double(const std::string& key, double def = 0.0) const;
+  std::string get_string(const std::string& key,
+                         const std::string& def = {}) const;
 
   /// Object insert/overwrite; keeps first-insertion order. *this must be an
   /// object (or null, which becomes one).
@@ -67,5 +98,14 @@ class JsonValue {
 
 /// JSON string escaping (quotes not included).
 std::string json_escape(const std::string& s);
+
+/// Parse one JSON document. Strict: the whole input must be consumed
+/// (trailing whitespace allowed), strings must be valid escapes, nesting is
+/// capped at 64 levels. Returns nullopt on malformed input and, when
+/// `error` is non-null, fills it with a message naming the byte offset.
+/// Numbers: non-negative integers without '.'/exponent parse as u64 (the
+/// wire protocol's ids and counts); everything else parses as double.
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error = nullptr);
 
 }  // namespace aeep

@@ -87,10 +87,27 @@ bool RecoveryController::take_pending_retirement(u64& set, unsigned& way) {
 }
 
 void RecoveryController::log_event(const ErrorLogEntry& e) {
-  if (log_.size() < config_.error_log_capacity)
+  if (config_.error_log_capacity == 0) {
+    ++log_dropped_;
+    return;
+  }
+  if (log_.size() < config_.error_log_capacity) {
     log_.push_back(e);
-  else
-    ++log_overflow_;
+    return;
+  }
+  // Ring: overwrite the oldest entry so the newest errors — the ones a
+  // post-mortem wants — survive, and count the casualty.
+  log_[log_head_] = e;
+  log_head_ = (log_head_ + 1) % log_.size();
+  ++log_dropped_;
+}
+
+std::vector<ErrorLogEntry> RecoveryController::error_log() const {
+  std::vector<ErrorLogEntry> out;
+  out.reserve(log_.size());
+  for (std::size_t i = 0; i < log_.size(); ++i)
+    out.push_back(log_[(log_head_ + i) % log_.size()]);
+  return out;
 }
 
 void RecoveryController::on_install(u64 set, unsigned way) {
@@ -107,7 +124,8 @@ void RecoveryController::note_way_retired(Cycle now, u64 set, unsigned way) {
 void RecoveryController::reset_stats() {
   stats_ = {};
   log_.clear();
-  log_overflow_ = 0;
+  log_head_ = 0;
+  log_dropped_ = 0;
 }
 
 bool RecoveryController::validate_writeback(Cycle now, u64 set,

@@ -71,7 +71,10 @@ struct RecoveryConfig {
   /// Errors at one (set, way) before the way is retired; 0 disables
   /// retirement.
   unsigned retirement_threshold = 0;
-  /// MCA-style log capacity; older entries are kept, overflow is counted.
+  /// MCA-style log capacity. The log is a ring buffer: once full, each new
+  /// error overwrites the oldest entry and bumps the dropped counter, so a
+  /// long-lived process (the aeep_served job server) holds at most this
+  /// many entries no matter how many errors it ever sees.
   std::size_t error_log_capacity = 64;
 };
 
@@ -167,9 +170,12 @@ class RecoveryController {
 
   const RecoveryConfig& config() const { return config_; }
   const RecoveryStats& stats() const { return stats_; }
-  const std::vector<ErrorLogEntry>& error_log() const { return log_; }
-  /// Errors that arrived with the log already full (MCA overflow bit).
-  u64 error_log_overflow() const { return log_overflow_; }
+  /// Chronological snapshot of the ring buffer: the newest (up to)
+  /// `error_log_capacity` errors, oldest first.
+  std::vector<ErrorLogEntry> error_log() const;
+  /// Entries overwritten (oldest-first) after the ring filled — the MCA
+  /// overflow count. error_log().size() + error_log_dropped() == errors seen.
+  u64 error_log_dropped() const { return log_dropped_; }
 
   /// Zero the observable metrics (stats + log). The fault map, poison bits
   /// and the panic latch are machine state, not metrics, and survive.
@@ -203,8 +209,9 @@ class RecoveryController {
   std::vector<u8> poison_;        ///< per-(set, way) poison markers
   std::vector<u8> pending_;       ///< per-(set, way) queued-for-retirement
   std::vector<std::pair<u64, unsigned>> pending_retire_;
-  std::vector<ErrorLogEntry> log_;
-  u64 log_overflow_ = 0;
+  std::vector<ErrorLogEntry> log_;  ///< ring storage; log_head_ = oldest
+  std::size_t log_head_ = 0;
+  u64 log_dropped_ = 0;
   bool panicked_ = false;
   RecoveryStats stats_;
 };

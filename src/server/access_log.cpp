@@ -1,0 +1,52 @@
+#include "server/access_log.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "server/error.hpp"
+
+namespace aeep::server {
+
+AccessLog::~AccessLog() { close(); }
+
+void AccessLog::open(const std::string& path) {
+  close();
+  if (path == "-") {
+    out_ = stderr;
+    owns_ = false;
+  } else {
+    out_ = std::fopen(path.c_str(), "a");
+    if (!out_)
+      throw ServerError(ServerErrorKind::kIo,
+                        "cannot open access log '" + path +
+                            "': " + std::strerror(errno));
+    owns_ = true;
+  }
+  seq_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void AccessLog::close() {
+  if (out_ && owns_) std::fclose(out_);
+  out_ = nullptr;
+  owns_ = false;
+}
+
+void AccessLog::write(const std::string& event, JsonValue fields) {
+  if (!out_) return;
+  JsonValue entry = JsonValue::object();
+  entry.set("event", JsonValue::string(event));
+  for (const auto& [key, value] : fields.members())
+    entry.set(key, value);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto t_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - epoch_)
+                        .count();
+  entry.set("seq", JsonValue::number(seq_++));
+  entry.set("t_ms", JsonValue::number(static_cast<u64>(t_ms < 0 ? 0 : t_ms)));
+  const std::string line = entry.dump(0) + "\n";
+  std::fputs(line.c_str(), out_);
+  std::fflush(out_);
+}
+
+}  // namespace aeep::server

@@ -1,0 +1,46 @@
+// Structured access log: one compact JSON object per line, so the CI
+// smoke job (and an operator's jq) can assert on connections, requests,
+// and drain behaviour without regex-scraping prose. Entries are stamped
+// with a monotonic sequence number and milliseconds since the log opened;
+// a mutex serialises writers because every connection thread logs.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace aeep::server {
+
+class AccessLog {
+ public:
+  AccessLog() = default;
+  ~AccessLog();
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// Open `path` for appending ("-" = stderr). Throws ServerError(kIo).
+  /// A default-constructed / never-opened log swallows writes, so callers
+  /// log unconditionally and the config decides.
+  void open(const std::string& path);
+  void close();
+
+  bool enabled() const { return out_ != nullptr; }
+
+  /// Append one entry. `event` lands first, then the caller's fields,
+  /// then "seq" and "t_ms" — one dump(0) line, flushed immediately so a
+  /// SIGTERM'd server leaves a complete log behind.
+  void write(const std::string& event, JsonValue fields);
+
+ private:
+  std::FILE* out_ = nullptr;
+  bool owns_ = false;  ///< false for "-" (stderr)
+  std::mutex mutex_;
+  u64 seq_ = 0;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+}  // namespace aeep::server

@@ -1,0 +1,43 @@
+// Client side of the aeep_served protocol: one connection, synchronous
+// request/reply calls. Not-ok replies are raised as the typed ServerError
+// they carry on the wire, so a caller can branch on kind() — the load
+// generator catches kBusy to count backpressure instead of failing, the
+// CLI maps kinds to exit codes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "server/error.hpp"
+#include "server/socket.hpp"
+#include "server/wire.hpp"
+
+namespace aeep::server {
+
+class Client {
+ public:
+  /// Connects immediately. Throws ServerError(kIo) when nobody listens.
+  Client(const std::string& host, u16 port);
+
+  /// Raw request/reply round trip. Returns the reply unchecked (ok or
+  /// not); throws ServerError(kIo) when the server hangs up mid-call.
+  JsonValue call(const JsonValue& request);
+
+  /// Checked calls: each raises a not-ok reply as its typed ServerError.
+  JsonValue ping();
+  u64 submit(const JobSpec& spec);                ///< -> job id (kBusy!)
+  JsonValue status(u64 job_id);
+  JsonValue result(u64 job_id, bool wait = true, u64 wait_ms = 60'000);
+  JsonValue run(const JobSpec& spec);             ///< submit + wait inline
+  JsonValue stats();
+  std::vector<std::string> traces();
+
+  /// Helper: a bare {"type": <type>} request object.
+  static JsonValue make_request(const std::string& type);
+
+ private:
+  Socket sock_;
+};
+
+}  // namespace aeep::server

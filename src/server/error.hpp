@@ -1,0 +1,86 @@
+// Typed failures for the job-server layer, mirroring trace/error.hpp: every
+// failure a connection can observe — socket trouble, an unframeable or
+// malformed request, a full queue, a missing job or trace, a blown
+// deadline, a server that is draining — surfaces as a ServerError with a
+// machine-checkable kind AND a stable wire code, so clients (and the
+// backpressure tests) can distinguish "try again later" from "your request
+// is wrong" without parsing message strings.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace aeep::server {
+
+enum class ServerErrorKind {
+  kIo,          ///< socket open/read/write failed at the OS level
+  kProtocol,    ///< framing violated: bad length prefix, unparsable JSON
+  kBadRequest,  ///< well-formed frame, invalid content (unknown type/field)
+  kBusy,        ///< bounded job queue is full — back off and retry (429)
+  kNotFound,    ///< unknown job id or unregistered trace name
+  kTimeout,     ///< job exceeded its wall-clock budget
+  kShutdown,    ///< server is draining; no new work accepted
+  kInternal,    ///< job threw inside the simulator
+};
+
+/// Human-readable prefix (error messages).
+const char* to_string(ServerErrorKind k);
+
+/// Stable machine token carried in the `error` field of a reply frame.
+const char* wire_code(ServerErrorKind k);
+
+/// Inverse of wire_code(); kInternal for anything unrecognised.
+ServerErrorKind kind_from_wire_code(const std::string& code);
+
+class ServerError : public std::runtime_error {
+ public:
+  ServerError(ServerErrorKind kind, const std::string& message)
+      : std::runtime_error(std::string(to_string(kind)) + ": " + message),
+        kind_(kind) {}
+
+  ServerErrorKind kind() const { return kind_; }
+
+ private:
+  ServerErrorKind kind_;
+};
+
+inline const char* to_string(ServerErrorKind k) {
+  switch (k) {
+    case ServerErrorKind::kIo: return "server io error";
+    case ServerErrorKind::kProtocol: return "server protocol error";
+    case ServerErrorKind::kBadRequest: return "bad request";
+    case ServerErrorKind::kBusy: return "server busy";
+    case ServerErrorKind::kNotFound: return "not found";
+    case ServerErrorKind::kTimeout: return "job timeout";
+    case ServerErrorKind::kShutdown: return "server shutting down";
+    case ServerErrorKind::kInternal: return "internal error";
+  }
+  return "server error";
+}
+
+inline const char* wire_code(ServerErrorKind k) {
+  switch (k) {
+    case ServerErrorKind::kIo: return "io";
+    case ServerErrorKind::kProtocol: return "protocol";
+    case ServerErrorKind::kBadRequest: return "bad_request";
+    case ServerErrorKind::kBusy: return "busy";
+    case ServerErrorKind::kNotFound: return "not_found";
+    case ServerErrorKind::kTimeout: return "timeout";
+    case ServerErrorKind::kShutdown: return "shutdown";
+    case ServerErrorKind::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+inline ServerErrorKind kind_from_wire_code(const std::string& code) {
+  if (code == "io") return ServerErrorKind::kIo;
+  if (code == "protocol") return ServerErrorKind::kProtocol;
+  if (code == "bad_request") return ServerErrorKind::kBadRequest;
+  if (code == "busy") return ServerErrorKind::kBusy;
+  if (code == "not_found") return ServerErrorKind::kNotFound;
+  if (code == "timeout") return ServerErrorKind::kTimeout;
+  if (code == "shutdown") return ServerErrorKind::kShutdown;
+  return ServerErrorKind::kInternal;
+}
+
+}  // namespace aeep::server

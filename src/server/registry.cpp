@@ -1,0 +1,61 @@
+#include "server/registry.hpp"
+
+#include <filesystem>
+
+#include "trace/error.hpp"
+#include "trace/reader.hpp"
+
+namespace aeep::server {
+
+namespace fs = std::filesystem;
+
+std::size_t TraceRegistry::scan_directory(const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec)
+    throw ServerError(ServerErrorKind::kIo,
+                      "cannot scan trace directory '" + dir +
+                          "': " + ec.message());
+  std::size_t added = 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() != ".aeept") continue;
+    add(p.stem().string(), p.string());
+    ++added;
+  }
+  return added;
+}
+
+void TraceRegistry::add(const std::string& name, const std::string& path) {
+  if (name.empty())
+    throw ServerError(ServerErrorKind::kBadRequest,
+                      "trace name must be non-empty");
+  try {
+    trace::TraceReader probe(path);  // header check: magic + version
+  } catch (const trace::TraceError& e) {
+    throw ServerError(ServerErrorKind::kIo,
+                      "refusing to register trace '" + name + "' (" + path +
+                          "): " + e.what());
+  }
+  traces_[name] = path;
+}
+
+const std::string& TraceRegistry::path_of(const std::string& name) const {
+  const auto it = traces_.find(name);
+  if (it == traces_.end())
+    throw ServerError(ServerErrorKind::kNotFound,
+                      "no trace registered under '" + name +
+                          "' (the server replays only pre-registered "
+                          ".aeept files)");
+  return it->second;
+}
+
+std::vector<std::string> TraceRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(traces_.size());
+  for (const auto& [name, path] : traces_) out.push_back(name);
+  return out;
+}
+
+}  // namespace aeep::server

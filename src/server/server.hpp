@@ -1,0 +1,188 @@
+// aeep_served's engine: a TCP job server that accepts experiment /
+// trace-replay requests as length-prefixed JSON frames and batches them
+// onto one shared sim::SweepRunner pool.
+//
+// Threading model (three kinds of threads, one lock):
+//  - the accept loop polls the listener with a short timeout, spawns one
+//    handler thread per connection, and bounces connections beyond
+//    max_connections with a kBusy frame before closing;
+//  - handler threads speak the request/reply protocol; a submit enqueues
+//    into a *bounded* queue — when full the client gets an explicit kBusy
+//    reply (backpressure, 429-style) instead of an ever-growing backlog;
+//  - one dispatcher thread drains the queue in batches of <= max_batch
+//    jobs through SweepRunner::run(), completing each job from the
+//    progress callback as it finishes (not at batch end).
+// Per-job wall-clock deadlines are enforced twice: a job still queued past
+// its deadline is failed as kTimeout without running, and a job whose
+// batch finishes late has its result discarded as kTimeout (SweepRunner
+// cannot cancel a running simulation, so late != free).
+// Graceful shutdown: request_drain() stops new submits (kShutdown
+// replies), lets queued + running jobs finish, then close() tears down
+// connections — the SIGTERM path in aeep_served.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/access_log.hpp"
+#include "server/registry.hpp"
+#include "server/socket.hpp"
+#include "server/wire.hpp"
+#include "sim/sweep.hpp"
+
+namespace aeep::server {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  u16 port = 0;                      ///< 0 = kernel-assigned (see port())
+  unsigned workers = 0;              ///< SweepRunner threads; 0 = hw count
+  std::size_t queue_capacity = 64;   ///< queued (not yet running) jobs
+  std::size_t max_batch = 8;         ///< jobs dispatched per SweepRunner run
+  std::size_t max_connections = 64;  ///< concurrent handler threads
+  u64 default_timeout_ms = 120'000;  ///< per-job wall clock (0 = none)
+  std::size_t result_retention = 4096;  ///< finished jobs kept queryable
+  std::string trace_dir;             ///< scanned into the trace registry
+  std::string access_log_path;       ///< empty = no access log; "-" = stderr
+};
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kTimeout };
+const char* to_string(JobState s);
+
+/// Counter snapshot for the "stats" request and the final drain summary.
+struct ServerStats {
+  u64 connections_accepted = 0;
+  u64 connections_rejected = 0;  ///< bounced at max_connections
+  u64 requests = 0;
+  u64 submitted = 0;
+  u64 busy_rejected = 0;      ///< submits bounced by the full queue
+  u64 shutdown_rejected = 0;  ///< submits bounced while draining
+  u64 completed = 0;
+  u64 failed = 0;
+  u64 timed_out = 0;
+  u64 batches = 0;            ///< SweepRunner dispatches
+  std::size_t queued = 0;     ///< gauge at snapshot time
+  std::size_t running = 0;    ///< gauge at snapshot time
+};
+
+class JobServer {
+ public:
+  explicit JobServer(ServerConfig config);
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Bind + spawn the accept and dispatcher threads. Throws
+  /// ServerError(kIo) when the port is taken or trace_dir unreadable.
+  void start();
+
+  /// The actually bound port (resolves config.port == 0).
+  u16 port() const;
+
+  /// Registry access for registering traces before start().
+  TraceRegistry& registry() { return registry_; }
+
+  /// Stop taking new jobs; existing queue keeps draining. Idempotent,
+  /// non-blocking, safe from a signal-notified context (not the handler
+  /// itself — aeep_served sets a flag in the handler and calls this from
+  /// the main loop).
+  void request_drain();
+
+  /// request_drain(), wait for queued + running jobs to finish, answer
+  /// each connection's in-flight request, then tear everything down.
+  /// Returns the number of jobs completed over the server's lifetime.
+  u64 drain();
+
+  /// Immediate teardown: queued jobs fail with kShutdown, then close.
+  void stop();
+
+  bool draining() const { return draining_.load(); }
+
+  ServerStats stats() const;
+  void reset_stats();
+
+ private:
+  struct Job {
+    u64 id = 0;
+    JobSpec spec{};
+    sim::ExperimentOptions options{};  ///< trace_path already resolved
+    JobState state = JobState::kQueued;
+    ServerErrorKind error_kind = ServerErrorKind::kInternal;
+    std::string error;  ///< kFailed / kTimeout detail
+    sim::RunResult result{};
+    std::chrono::steady_clock::time_point submitted_at{};
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
+    double wall_ms = 0.0;  ///< submit -> terminal
+  };
+
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void dispatch_loop();
+  void handle_connection(Socket sock, u64 conn_id, std::string peer);
+  JsonValue handle_request(const JsonValue& req, u64 conn_id);
+
+  JsonValue handle_submit(const JsonValue& req);
+  JsonValue handle_status(const JsonValue& req);
+  JsonValue handle_result(const JsonValue& req);
+  JsonValue handle_run(const JsonValue& req);
+  JsonValue handle_stats() const;
+  JsonValue handle_traces() const;
+
+  /// Validate + enqueue; returns the new job id. Throws ServerError
+  /// (kBusy, kShutdown, kNotFound, kBadRequest). Caller holds no lock.
+  u64 submit_job(const JsonValue& req);
+
+  /// Block until `id` is terminal, the server closes, or `wait_ms`
+  /// elapses. Returns true when terminal.
+  bool wait_for_job(u64 id, u64 wait_ms);
+
+  /// Reply for a terminal (or not) job. Caller holds mutex_.
+  JsonValue result_reply_locked(const Job& job) const;
+  void finish_job_locked(Job& job, JobState state, ServerErrorKind kind,
+                         const std::string& error);
+  void enforce_retention_locked();
+
+  ServerConfig config_;
+  TraceRegistry registry_;
+  AccessLog log_;
+  std::unique_ptr<Listener> listener_;
+  std::unique_ptr<sim::SweepRunner> runner_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_dispatch_;  ///< queue gained work / draining
+  std::condition_variable cv_done_;      ///< some job reached terminal state
+  std::map<u64, Job> jobs_;
+  std::vector<u64> queue_;               ///< FIFO of queued job ids
+  std::vector<u64> finished_order_;      ///< retention ring, oldest first
+  u64 next_job_id_ = 1;
+  std::size_t running_count_ = 0;
+  ServerStats stats_{};
+
+  std::atomic<bool> draining_{false};  ///< no new submits
+  std::atomic<bool> closing_{false};   ///< connections wind down
+  std::atomic<bool> started_{false};
+
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  std::mutex conn_mutex_;
+  std::list<Connection> connections_;
+  std::size_t active_connections_ = 0;  ///< guarded by conn_mutex_
+  u64 next_conn_id_ = 1;
+  std::chrono::steady_clock::time_point started_at_{};
+};
+
+}  // namespace aeep::server

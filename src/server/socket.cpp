@@ -1,0 +1,198 @@
+#include "server/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace aeep::server {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw ServerError(ServerErrorKind::kIo,
+                    what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, u16 port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  std::string ip = host;
+  if (ip.empty() || ip == "localhost") ip = "127.0.0.1";
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1)
+    throw ServerError(ServerErrorKind::kIo,
+                      "not an IPv4 address: '" + host + "'");
+  return addr;
+}
+
+std::string addr_text(const sockaddr_in& addr) {
+  char buf[INET_ADDRSTRLEN] = {};
+  ::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf));
+  return std::string(buf) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+/// poll() one fd for `events`; false on timeout, throws on error.
+bool wait_for(int fd, short events, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  while (true) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    throw_errno("poll");
+  }
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::send_all(const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a dying peer must produce an EPIPE error we can type,
+    // not a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::recv_exact(void* data, std::size_t len, int timeout_ms) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  while (got < len) {
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      const int wait_ms = left.count() > 0 ? static_cast<int>(left.count()) : 0;
+      if (!wait_for(fd_, POLLIN, wait_ms))
+        throw ServerError(ServerErrorKind::kIo,
+                          "receive timed out after " +
+                              std::to_string(timeout_ms) + "ms");
+    }
+    const ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean close between messages
+      throw ServerError(ServerErrorKind::kIo,
+                        "peer closed mid-message (" + std::to_string(got) +
+                            "/" + std::to_string(len) + " bytes)");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Socket::wait_readable(int timeout_ms) {
+  return wait_for(fd_, POLLIN, timeout_ms);
+}
+
+void Socket::set_nodelay() {
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Listener::Listener(const std::string& host, u16 port, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int saved = errno;
+    close();
+    errno = saved;
+    throw_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd_, backlog) < 0) {
+    const int saved = errno;
+    close();
+    errno = saved;
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    port_ = ntohs(bound.sin_port);
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<Socket> Listener::accept(int timeout_ms, std::string* peer) {
+  if (!wait_for(fd_, POLLIN, timeout_ms)) return std::nullopt;
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  const int fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN)
+      return std::nullopt;  // racer vanished; next loop iteration retries
+    throw_errno("accept");
+  }
+  if (peer) *peer = addr_text(addr);
+  Socket s(fd);
+  s.set_nodelay();
+  return s;
+}
+
+Socket connect_to(const std::string& host, u16 port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect " + host + ":" + std::to_string(port));
+  }
+  Socket s(fd);
+  s.set_nodelay();
+  return s;
+}
+
+}  // namespace aeep::server

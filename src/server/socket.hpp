@@ -1,0 +1,86 @@
+// RAII TCP primitives for the job server and its clients. This file (and
+// socket.cpp) is the only place in the tree allowed to touch raw POSIX
+// socket()/send()/recv() — lint Rule 6 — so every byte that crosses the
+// network goes through the checked, timeout-aware helpers here, and short
+// reads/writes surface as typed ServerErrors instead of silently-ignored
+// return values (the same discipline trace/io.hpp imposes on file I/O).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "server/error.hpp"
+
+namespace aeep::server {
+
+/// A connected stream socket (move-only; closes on destruction).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Send the entire buffer (retrying short writes / EINTR). Throws
+  /// ServerError(kIo) when the peer vanishes.
+  void send_all(const void* data, std::size_t len);
+
+  /// Receive exactly `len` bytes. Returns false iff the peer closed the
+  /// stream cleanly before the FIRST byte (normal end of a connection);
+  /// throws ServerError(kIo) on errors, on a close mid-message, and when
+  /// `timeout_ms` >= 0 elapses before the bytes arrive.
+  bool recv_exact(void* data, std::size_t len, int timeout_ms = -1);
+
+  /// True when at least one byte (or EOF) is readable within `timeout_ms`.
+  /// Lets a server poll between frames and notice a drain request without
+  /// committing to a blocking read. Throws ServerError(kIo) on poll errors.
+  bool wait_readable(int timeout_ms);
+
+  /// Disable Nagle; the protocol is small request/reply frames where
+  /// coalescing only adds latency.
+  void set_nodelay();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to host:port (port 0 = kernel-assigned).
+class Listener {
+ public:
+  /// Binds with SO_REUSEADDR and listens. Throws ServerError(kIo).
+  Listener(const std::string& host, u16 port, int backlog = 64);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// The actually bound port (resolves port 0).
+  u16 port() const { return port_; }
+
+  /// Wait up to `timeout_ms` for a connection. nullopt on timeout (the
+  /// accept loop's chance to notice a drain request); throws on errors.
+  /// `peer`, when non-null, receives "ip:port" of the remote end.
+  std::optional<Socket> accept(int timeout_ms, std::string* peer = nullptr);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  u16 port_ = 0;
+};
+
+/// Blocking connect to host:port ("localhost" or a dotted IPv4 literal).
+/// Throws ServerError(kIo) when the server is not there.
+Socket connect_to(const std::string& host, u16 port);
+
+}  // namespace aeep::server

@@ -1,0 +1,33 @@
+// The canonical JSON rendering of a RunResult's metrics — one stable,
+// insertion-ordered key set shared by every surface that exports results:
+// the figure benches' --json reporter, the aeep_served wire protocol, and
+// the aeep_client CLI. Keeping it in one place is what lets CI diff a bench
+// file against a server reply and guarantees a job's metrics look the same
+// whether the run was local or remote.
+#pragma once
+
+#include "common/json.hpp"
+#include "sim/system.hpp"
+
+namespace aeep::sim {
+
+inline JsonValue run_result_json(const RunResult& r) {
+  JsonValue m = JsonValue::object();
+  m.set("ipc", JsonValue::number(r.ipc()));
+  m.set("committed", JsonValue::number(r.core.committed));
+  m.set("cycles", JsonValue::number(r.core.cycles));
+  m.set("avg_dirty_fraction", JsonValue::number(r.avg_dirty_fraction));
+  m.set("avg_dirty_lines", JsonValue::number(r.avg_dirty_lines));
+  m.set("peak_dirty_lines", JsonValue::number(r.peak_dirty_lines));
+  m.set("wb_replacement", JsonValue::number(r.wb_replacement));
+  m.set("wb_cleaning", JsonValue::number(r.wb_cleaning));
+  m.set("wb_ecc", JsonValue::number(r.wb_ecc));
+  m.set("wb_total", JsonValue::number(r.wb_total()));
+  m.set("wb_per_kls", JsonValue::number(r.wb_per_ls() * 1000.0));
+  m.set("l2_accesses", JsonValue::number(r.l2.accesses()));
+  m.set("l2_misses", JsonValue::number(r.l2.misses()));
+  m.set("bus_bytes_written", JsonValue::number(r.bus.bytes_written));
+  return m;
+}
+
+}  // namespace aeep::sim

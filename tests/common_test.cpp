@@ -3,8 +3,10 @@
 // for the dirty-lines-per-cycle metric), CLI parsing and table rendering.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
+#include <stdexcept>
 
 #include "common/bitops.hpp"
 #include "common/cli.hpp"
@@ -209,6 +211,66 @@ TEST(Cli, TracksUnusedKeys) {
   EXPECT_EQ(unused[0], "typo");
 }
 
+TEST(Cli, RejectsDuplicateFlags) {
+  // A repeated flag is a copy-paste error; silently taking the last value
+  // once launched a sweep under the wrong seed.
+  const char* argv[] = {"prog", "--seed=1", "--jobs=4", "--seed=7"};
+  EXPECT_THROW(CliArgs(4, argv), std::invalid_argument);
+  try {
+    CliArgs args(4, argv);
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--seed"), std::string::npos)
+        << "error must name the duplicated flag: " << e.what();
+  }
+}
+
+TEST(Cli, RejectsDuplicateBareFlags) {
+  // `--verbose --verbose` and `--jobs --jobs=2` are both duplicates: the
+  // key, not the spelled form, is what may appear once.
+  const char* argv1[] = {"prog", "--verbose", "--verbose"};
+  EXPECT_THROW(CliArgs(3, argv1), std::invalid_argument);
+  const char* argv2[] = {"prog", "--jobs", "--jobs=2"};
+  EXPECT_THROW(CliArgs(3, argv2), std::invalid_argument);
+}
+
+TEST(Cli, DistinctFlagsStillParse) {
+  const char* argv[] = {"prog", "--seed=1", "--seeds=2"};  // prefix != dup
+  CliArgs args(3, argv);
+  EXPECT_EQ(args.get_u64("seed", 0), 1u);
+  EXPECT_EQ(args.get_u64("seeds", 0), 2u);
+}
+
+TEST(Cli, MissingValueFallsBackToDefault) {
+  // `--key=` supplies an empty value: string getters return it verbatim,
+  // numeric getters must throw (an empty numeral is a typo, not a zero).
+  const char* argv[] = {"prog", "--name=", "--count="};
+  CliArgs args(3, argv);
+  EXPECT_EQ(args.get("name", "default"), "");
+  EXPECT_TRUE(args.has("count"));
+  EXPECT_THROW(args.get_u64("count", 9), std::invalid_argument);
+}
+
+TEST(Cli, BadNumericSuffixThrows) {
+  const char* argv[] = {"prog", "--interval=64Q"};
+  CliArgs args(2, argv);
+  EXPECT_THROW(args.get_u64("interval", 0), std::invalid_argument);
+}
+
+TEST(Cli, UnknownFlagSurfacesInUnusedAndQueriedListsAccepted) {
+  // The reject_unknown_flags() path: a typo'd flag stays in unused() and
+  // the error message can print queried() as the accepted set.
+  const char* argv[] = {"prog", "--instrs=5", "--seed=3"};
+  CliArgs args(3, argv);
+  (void)args.get_u64("instructions", 0);  // the real flag
+  (void)args.get_u64("seed", 0);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "instrs");
+  const auto accepted = args.queried();
+  EXPECT_NE(std::find(accepted.begin(), accepted.end(), "instructions"),
+            accepted.end());
+}
+
 TEST(Table, RendersAlignedRows) {
   TextTable t({"name", "value"});
   t.add_row({"alpha", "1.25"});
@@ -282,6 +344,111 @@ TEST(JsonValue, DumpEmitsNoRawControlBytes) {
   const std::string text = obj.dump(0);
   for (const char c : text)
     EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << "raw control byte";
+}
+
+// --- JSON parser ------------------------------------------------------------
+// The aeep_served wire protocol round-trips frames as dump() -> socket ->
+// json_parse(); the parser must invert the builder exactly and reject
+// malformed frames with an error rather than a crash or a partial decode.
+
+TEST(JsonParse, RoundTripsBuilderOutput) {
+  JsonValue doc = JsonValue::object();
+  doc.set("type", JsonValue::string("submit"));
+  doc.set("id", JsonValue::number(u64{18446744073709551615ull}));
+  doc.set("ratio", JsonValue::number(0.125));
+  doc.set("ok", JsonValue::boolean(true));
+  doc.set("none", JsonValue::null());
+  JsonValue arr = JsonValue::array();
+  arr.push(JsonValue::number(u64{1}));
+  arr.push(JsonValue::string("two\n\"quoted\""));
+  JsonValue inner = JsonValue::object();
+  inner.set("k", JsonValue::boolean(false));
+  arr.push(std::move(inner));
+  doc.set("items", std::move(arr));
+
+  for (const int indent : {0, 2}) {
+    std::string error;
+    const auto parsed = json_parse(doc.dump(indent), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    // Dump of the parse must equal dump of the original: same kinds, same
+    // key order, same integer/double split.
+    EXPECT_EQ(parsed->dump(2), doc.dump(2));
+  }
+}
+
+TEST(JsonParse, AccessorsReadKindsAndDefaults) {
+  const auto v = json_parse(
+      R"({"n": 42, "d": 1.5, "s": "x", "b": true, "whole": 3.0})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->get_u64("n", 0), 42u);
+  EXPECT_DOUBLE_EQ(v->get_double("d", 0), 1.5);
+  EXPECT_DOUBLE_EQ(v->get_double("n", 0), 42.0);  // uint widens to double
+  EXPECT_EQ(v->get_string("s", ""), "x");
+  EXPECT_TRUE(v->get_bool("b", false));
+  // A whole double reads back as u64 (far-side parsers may lose the split).
+  EXPECT_EQ(v->get_u64("whole", 0), 3u);
+  // Kind mismatch and absence both fall back to the default.
+  EXPECT_EQ(v->get_u64("s", 7), 7u);
+  EXPECT_EQ(v->get_string("missing", "def"), "def");
+}
+
+TEST(JsonParse, UnicodeEscapesDecodeToUtf8) {
+  const auto v = json_parse(R"(["\u0041", "\u00e9", "\u20ac", "\ud83d\ude00"])");
+  ASSERT_TRUE(v.has_value());
+  const auto& e = v->elements();
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_EQ(e[0].as_string(), "A");
+  EXPECT_EQ(e[1].as_string(), "\xc3\xa9");          // é
+  EXPECT_EQ(e[2].as_string(), "\xe2\x82\xac");      // €
+  EXPECT_EQ(e[3].as_string(), "\xf0\x9f\x98\x80");  // surrogate pair
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",                        // empty
+      "{",                       // unterminated object
+      "[1, 2",                   // unterminated array
+      "{\"a\": }",               // missing value
+      "{\"a\" 1}",               // missing colon
+      "{\"a\": 1,}",             // trailing comma is not accepted
+      "\"abc",                   // unterminated string
+      "\"bad \\q escape\"",      // unknown escape
+      "\"\\u12g4\"",             // bad hex digit
+      "01x",                     // trailing garbage on number
+      "truest",                  // trailing garbage on literal
+      "{} {}",                   // two documents
+      "nul",                     // truncated literal
+  };
+  for (const char* text : bad) {
+    std::string error;
+    EXPECT_FALSE(json_parse(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(JsonParse, DepthLimitStopsNestingBombs) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  std::string error;
+  EXPECT_FALSE(json_parse(deep, &error).has_value());
+  EXPECT_NE(error.find("deep"), std::string::npos);
+  // At a sane depth the same shape parses fine.
+  std::string ok(32, '[');
+  ok += std::string(32, ']');
+  EXPECT_TRUE(json_parse(ok).has_value());
+}
+
+TEST(JsonParse, NumbersSplitIntegerAndDouble) {
+  const auto v = json_parse("[0, 18446744073709551615, -1, 2.5, 1e3]");
+  ASSERT_TRUE(v.has_value());
+  const auto& e = v->elements();
+  ASSERT_EQ(e.size(), 5u);
+  EXPECT_EQ(e[0].dump(0), "0");
+  EXPECT_EQ(e[1].as_u64(), 18446744073709551615ull);
+  // Negative integers carry as doubles (the wire schema is unsigned).
+  EXPECT_DOUBLE_EQ(e[2].as_double(), -1.0);
+  EXPECT_DOUBLE_EQ(e[3].as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(e[4].as_double(), 1000.0);
 }
 
 }  // namespace

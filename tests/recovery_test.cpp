@@ -79,7 +79,7 @@ TEST_F(RecoveryTest, CorrectedErrorScrubsAndChargesLatency) {
   EXPECT_EQ(st.corrected, 1u);
   EXPECT_EQ(st.stall_cycles, l2.config().recovery.correction_latency);
   ASSERT_EQ(l2.recovery().error_log().size(), 1u);
-  const auto& e = l2.recovery().error_log()[0];
+  const auto e = l2.recovery().error_log()[0];
   EXPECT_EQ(e.action, RecoveryAction::kScrubCorrected);
   EXPECT_EQ(e.outcome, ReadOutcome::kCorrected);
   EXPECT_TRUE(e.was_dirty);
@@ -128,7 +128,7 @@ TEST_F(RecoveryTest, PersistentFaultExhaustsRetriesAndDropsLine) {
   EXPECT_EQ(st.retries, 3u);
   EXPECT_EQ(st.lines_dropped, 1u);
   ASSERT_GE(l2.recovery().error_log().size(), 1u);
-  const auto& e = l2.recovery().error_log()[0];
+  const auto e = l2.recovery().error_log()[0];
   EXPECT_EQ(e.action, RecoveryAction::kRetryExhausted);
   EXPECT_EQ(e.retries, 3u);
   // The demand access restarted as a miss and re-filled the line (the
@@ -304,7 +304,7 @@ TEST_F(RecoveryTest, WritebackPathFaultsRetireViaTick) {
   EXPECT_EQ(memory_.read_word(a + 2 * 8), 0x99u);  // corrected data landed
 }
 
-TEST_F(RecoveryTest, ErrorLogBoundedWithOverflowCount) {
+TEST_F(RecoveryTest, ErrorLogIsRingKeepingNewestWithDroppedCount) {
   auto cfg = small_config();
   cfg.recovery.error_log_capacity = 4;
   ProtectedL2 l2(cfg, bus_, memory_);
@@ -315,8 +315,39 @@ TEST_F(RecoveryTest, ErrorLogBoundedWithOverflowCount) {
         flip_bit(l2.cache_model().data(pr.set, pr.way)[1], 30);
     l2.read(500 + 10 * i, a);
   }
+  const auto log = l2.recovery().error_log();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(l2.recovery().error_log_dropped(), 3u);
+  // Ring semantics: the *newest* four errors survive (cycles 530..560, in
+  // chronological order), the first three were overwritten.
+  for (std::size_t i = 0; i < log.size(); ++i)
+    EXPECT_EQ(log[i].cycle, 530u + 10 * i);
+}
+
+TEST_F(RecoveryTest, ErrorLogStaysBoundedOverLongLivedProcess) {
+  // A server process handles errors indefinitely; the log must never grow
+  // past its capacity no matter how many arrive.
+  auto cfg = small_config();
+  cfg.recovery.error_log_capacity = 4;
+  ProtectedL2 l2(cfg, bus_, memory_);
+  const Addr a = make_dirty(l2, 11, 0x1);
+  const auto pr = l2.cache_model().probe(a);
+  constexpr int kErrors = 200;
+  for (int i = 0; i < kErrors; ++i) {
+    l2.cache_model().data(pr.set, pr.way)[1] =
+        flip_bit(l2.cache_model().data(pr.set, pr.way)[1], 30);
+    l2.read(500 + 10 * i, a);
+    EXPECT_LE(l2.recovery().error_log().size(), 4u);
+  }
+  EXPECT_EQ(l2.recovery().stats().errors, u64{kErrors});
   EXPECT_EQ(l2.recovery().error_log().size(), 4u);
-  EXPECT_EQ(l2.recovery().error_log_overflow(), 3u);
+  EXPECT_EQ(l2.recovery().error_log_dropped(), u64{kErrors - 4});
+  // Snapshot is chronological: strictly increasing cycles, ending at the
+  // last error.
+  const auto log = l2.recovery().error_log();
+  for (std::size_t i = 1; i < log.size(); ++i)
+    EXPECT_LT(log[i - 1].cycle, log[i].cycle);
+  EXPECT_EQ(log.back().cycle, 500u + 10 * (kErrors - 1));
 }
 
 TEST_F(RecoveryTest, ResetStatsKeepsMachineState) {
@@ -414,8 +445,8 @@ TEST(StrikeCampaign, SameSeedSameErrorLogAndStats) {
   const auto& lb = b.hierarchy().l2().recovery().error_log();
   ASSERT_EQ(la.size(), lb.size());
   for (std::size_t i = 0; i < la.size(); ++i) EXPECT_EQ(la[i], lb[i]);
-  EXPECT_EQ(a.hierarchy().l2().recovery().error_log_overflow(),
-            b.hierarchy().l2().recovery().error_log_overflow());
+  EXPECT_EQ(a.hierarchy().l2().recovery().error_log_dropped(),
+            b.hierarchy().l2().recovery().error_log_dropped());
 }
 
 TEST(StrikeCampaign, StrikeProcessScalesWithProvisionedBits) {

@@ -1,0 +1,337 @@
+// Tests for the networked job service (src/server/): wire-protocol framing
+// and JobSpec mapping, the JobServer's queueing/backpressure/timeout/drain
+// semantics over real loopback TCP, and the load-bearing equivalence claim:
+// a trace-replay job through the server returns bit-identical metrics to
+// the same replay run in-process.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.hpp"
+#include "server/registry.hpp"
+#include "server/server.hpp"
+#include "server/wire.hpp"
+#include "sim/experiment.hpp"
+#include "sim/result_json.hpp"
+
+namespace aeep::server {
+namespace {
+
+std::string temp_trace(const char* name) {
+  return testing::TempDir() + "aeep_server_test_" + name + ".aeept";
+}
+
+/// Capture a small gzip trace and return its path.
+std::string capture_gzip(const char* name, u64 instructions = 30'000) {
+  const std::string path = temp_trace(name);
+  sim::ExperimentOptions eo;
+  eo.instructions = instructions;
+  eo.warmup_instructions = 5'000;
+  eo.capture_path = path;
+  sim::run_benchmark("gzip", eo);
+  return path;
+}
+
+ServerErrorKind kind_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const ServerError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "expected a ServerError";
+  return ServerErrorKind::kInternal;
+}
+
+// --- wire protocol (no sockets) -------------------------------------------
+
+TEST(ServerWire, JobSpecRoundTripsThroughJson) {
+  JobSpec spec;
+  spec.benchmark = "mcf";
+  spec.frontend = sim::Frontend::kTrace;
+  spec.scheme = protect::SchemeKind::kSharedEccArray;
+  spec.cleaning_policy = protect::CleaningPolicy::kDecayCounter;
+  spec.cleaning_interval = 64 * 1024;
+  spec.decay_threshold = 3;
+  spec.ecc_entries_per_set = 2;
+  spec.instructions = 123'456;
+  spec.warmup = 7'890;
+  spec.seed = 99;
+  spec.maintain_codes = true;
+  spec.trace = "mcf_long";
+  spec.timeout_ms = 5'000;
+  const JsonValue j = job_spec_to_json(spec);
+  const JobSpec back = job_spec_from_json(j);
+  EXPECT_EQ(job_spec_to_json(back).dump(0), j.dump(0));
+  EXPECT_EQ(back.trace_name(), "mcf_long");
+}
+
+TEST(ServerWire, DefaultTraceNameIsTheBenchmark) {
+  JobSpec spec;
+  spec.benchmark = "swim";
+  EXPECT_EQ(spec.trace_name(), "swim");
+}
+
+TEST(ServerWire, UnknownJobFieldIsBadRequest) {
+  JsonValue j = JsonValue::object();
+  j.set("benchmork", JsonValue::string("gzip"));  // typo must not be ignored
+  EXPECT_EQ(kind_of([&] { job_spec_from_json(j); }),
+            ServerErrorKind::kBadRequest);
+}
+
+TEST(ServerWire, BadEnumSpellingsAreBadRequests) {
+  EXPECT_EQ(kind_of([] { scheme_from_string("parity"); }),
+            ServerErrorKind::kBadRequest);
+  EXPECT_EQ(kind_of([] { cleaning_policy_from_string("lazy"); }),
+            ServerErrorKind::kBadRequest);
+  EXPECT_EQ(kind_of([] { frontend_from_string("dramsim"); }),
+            ServerErrorKind::kBadRequest);
+}
+
+TEST(ServerWire, WireCodesRoundTrip) {
+  for (const auto kind :
+       {ServerErrorKind::kIo, ServerErrorKind::kProtocol,
+        ServerErrorKind::kBadRequest, ServerErrorKind::kBusy,
+        ServerErrorKind::kNotFound, ServerErrorKind::kTimeout,
+        ServerErrorKind::kShutdown, ServerErrorKind::kInternal})
+    EXPECT_EQ(kind_from_wire_code(wire_code(kind)), kind);
+}
+
+TEST(ServerWire, CheckReplyRaisesTypedErrors) {
+  const JsonValue busy = error_reply(ServerErrorKind::kBusy, "queue full");
+  EXPECT_EQ(kind_of([&] { check_reply(busy); }), ServerErrorKind::kBusy);
+  const JsonValue fine = ok_reply("pong");
+  EXPECT_EQ(&check_reply(fine), &fine);  // ok passes through
+}
+
+// --- framing over a real socket pair --------------------------------------
+
+TEST(ServerSocket, FramesRoundTripAndCleanCloseIsNullopt) {
+  Listener listener("127.0.0.1", 0);
+  JsonValue doc = JsonValue::object();
+  doc.set("type", JsonValue::string("ping"));
+  doc.set("n", JsonValue::number(u64{7}));
+  std::thread peer([&] {
+    Socket c = connect_to("127.0.0.1", listener.port());
+    send_frame(c, doc);
+    // destructor closes: the server side must see a clean end-of-stream
+  });
+  auto accepted = listener.accept(2'000);
+  ASSERT_TRUE(accepted.has_value());
+  const auto frame = recv_frame(*accepted, 2'000);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->dump(0), doc.dump(0));
+  EXPECT_FALSE(recv_frame(*accepted, 2'000).has_value());
+  peer.join();
+}
+
+TEST(ServerSocket, OversizedPrefixIsProtocolError) {
+  Listener listener("127.0.0.1", 0);
+  std::thread peer([&] {
+    Socket c = connect_to("127.0.0.1", listener.port());
+    const u8 huge[4] = {0xFF, 0xFF, 0xFF, 0x7F};  // ~2GB "frame"
+    c.send_all(huge, sizeof(huge));
+  });
+  auto accepted = listener.accept(2'000);
+  ASSERT_TRUE(accepted.has_value());
+  EXPECT_EQ(kind_of([&] { recv_frame(*accepted, 2'000); }),
+            ServerErrorKind::kProtocol);
+  peer.join();
+}
+
+// --- registry --------------------------------------------------------------
+
+TEST(ServerRegistry, UnknownNameIsNotFoundAndGarbageIsRejected) {
+  TraceRegistry reg;
+  EXPECT_EQ(kind_of([&] { reg.path_of("nope"); }), ServerErrorKind::kNotFound);
+  EXPECT_EQ(kind_of([&] { reg.add("bad", "/does/not/exist.aeept"); }),
+            ServerErrorKind::kIo);
+  const std::string path = capture_gzip("registry", 5'000);
+  reg.add("gzip", path);
+  EXPECT_EQ(reg.path_of("gzip"), path);
+  EXPECT_EQ(reg.names(), std::vector<std::string>{"gzip"});
+  std::remove(path.c_str());
+}
+
+// --- the server end to end -------------------------------------------------
+
+JobSpec small_exec_job(u64 instructions = 30'000) {
+  JobSpec spec;
+  spec.benchmark = "gzip";
+  spec.instructions = instructions;
+  spec.warmup = 5'000;
+  return spec;
+}
+
+TEST(JobServer, PingSubmitStatusResultLifecycle) {
+  ServerConfig cfg;
+  cfg.port = 0;
+  cfg.workers = 1;
+  JobServer served(cfg);
+  served.start();
+  Client client("127.0.0.1", served.port());
+
+  const JsonValue pong = client.ping();
+  EXPECT_EQ(pong.get_string("type"), "pong");
+  EXPECT_EQ(pong.get_u64("protocol"), 1u);
+
+  const u64 id = client.submit(small_exec_job());
+  EXPECT_GT(id, 0u);
+  const JsonValue result = client.result(id, /*wait=*/true, 60'000);
+  EXPECT_TRUE(result.get_bool("ready"));
+  EXPECT_EQ(result.get_string("state"), "done");
+  const JsonValue* metrics = result.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_GT(metrics->get_u64("committed"), 0u);
+  EXPECT_GT(metrics->get_double("ipc"), 0.0);
+
+  const JsonValue status = client.status(id);
+  EXPECT_EQ(status.get_string("state"), "done");
+
+  EXPECT_EQ(kind_of([&] { client.status(id + 1000); }),
+            ServerErrorKind::kNotFound);
+
+  const ServerStats stats = served.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  served.drain();
+}
+
+TEST(JobServer, FullQueueAnswersBusyInsteadOfQueueingUnboundedly) {
+  ServerConfig cfg;
+  cfg.port = 0;
+  cfg.workers = 1;
+  cfg.max_batch = 1;
+  cfg.queue_capacity = 1;
+  JobServer served(cfg);
+  served.start();
+  Client client("127.0.0.1", served.port());
+
+  // One slow job to occupy the single worker...
+  std::vector<u64> accepted;
+  accepted.push_back(client.submit(small_exec_job(300'000)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // ...then flood: with capacity 1, at most one more fits; the rest must
+  // be answered `busy` — an explicit reply, not a hang or a drop.
+  u64 busy = 0;
+  for (int i = 0; i < 4; ++i) {
+    try {
+      accepted.push_back(client.submit(small_exec_job()));
+    } catch (const ServerError& e) {
+      ASSERT_EQ(e.kind(), ServerErrorKind::kBusy);
+      ++busy;
+    }
+  }
+  EXPECT_GE(busy, 3u);  // >= 3 of the 4 flooded submits bounced
+  EXPECT_EQ(served.stats().busy_rejected, busy);
+  for (const u64 id : accepted) {
+    const JsonValue r = client.result(id, /*wait=*/true, 120'000);
+    EXPECT_TRUE(r.get_bool("ready"));
+  }
+  served.drain();
+}
+
+TEST(JobServer, QueuedJobPastDeadlineTimesOutWithoutRunning) {
+  ServerConfig cfg;
+  cfg.port = 0;
+  cfg.workers = 1;
+  cfg.max_batch = 1;
+  JobServer served(cfg);
+  served.start();
+  Client client("127.0.0.1", served.port());
+
+  client.submit(small_exec_job(300'000));  // occupies the worker
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  JobSpec hurried = small_exec_job();
+  hurried.timeout_ms = 1;  // will expire while queued behind the slow job
+  const u64 id = client.submit(hurried);
+  EXPECT_EQ(kind_of([&] { client.result(id, /*wait=*/true, 120'000); }),
+            ServerErrorKind::kTimeout);
+  EXPECT_GE(served.stats().timed_out, 1u);
+  served.drain();
+}
+
+TEST(JobServer, UnregisteredTraceNameIsNotFoundAtSubmitTime) {
+  ServerConfig cfg;
+  cfg.port = 0;
+  cfg.workers = 1;
+  JobServer served(cfg);
+  served.start();
+  Client client("127.0.0.1", served.port());
+  JobSpec spec = small_exec_job();
+  spec.frontend = sim::Frontend::kTrace;  // no such trace registered
+  EXPECT_EQ(kind_of([&] { client.submit(spec); }),
+            ServerErrorKind::kNotFound);
+  served.drain();
+}
+
+TEST(JobServer, DrainFinishesAcceptedWorkAndRejectsNewSubmits) {
+  ServerConfig cfg;
+  cfg.port = 0;
+  cfg.workers = 1;
+  JobServer served(cfg);
+  served.start();
+  Client client("127.0.0.1", served.port());
+  const u64 id = client.submit(small_exec_job());
+  served.request_drain();
+  EXPECT_TRUE(served.draining());
+  EXPECT_EQ(kind_of([&] { client.submit(small_exec_job()); }),
+            ServerErrorKind::kShutdown);
+  // The job accepted before the drain still completes and is collectable
+  // while the server winds down.
+  const JsonValue r = client.result(id, /*wait=*/true, 120'000);
+  EXPECT_TRUE(r.get_bool("ready"));
+  EXPECT_EQ(served.drain(), 1u);
+  EXPECT_EQ(served.stats().shutdown_rejected, 1u);
+}
+
+TEST(JobServer, TraceReplayThroughServerIsBitExactWithDirectReplay) {
+  const std::string path = capture_gzip("equivalence");
+
+  sim::ExperimentOptions ro;
+  ro.instructions = 30'000;
+  ro.warmup_instructions = 5'000;
+  ro.frontend = sim::Frontend::kTrace;
+  ro.trace_path = path;
+  const sim::RunResult direct = sim::run_benchmark("gzip", ro);
+
+  ServerConfig cfg;
+  cfg.port = 0;
+  cfg.workers = 1;
+  JobServer served(cfg);
+  served.registry().add("gzip", path);
+  served.start();
+  Client client("127.0.0.1", served.port());
+  JobSpec spec = small_exec_job();
+  spec.frontend = sim::Frontend::kTrace;
+  const JsonValue reply = client.run(spec);
+  ASSERT_TRUE(reply.get_bool("ready"));
+  const JsonValue* metrics = reply.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  // Same canonical rendering on both sides — byte equality, no tolerance.
+  EXPECT_EQ(metrics->dump(0), sim::run_result_json(direct).dump(0));
+  served.drain();
+  std::remove(path.c_str());
+}
+
+TEST(JobServer, FailedJobSurfacesAsTypedInternalError) {
+  ServerConfig cfg;
+  cfg.port = 0;
+  cfg.workers = 1;
+  JobServer served(cfg);
+  served.start();
+  Client client("127.0.0.1", served.port());
+  JobSpec spec = small_exec_job();
+  spec.benchmark = "no_such_benchmark";
+  const u64 id = client.submit(spec);  // accepted: validated at run time
+  EXPECT_EQ(kind_of([&] { client.result(id, /*wait=*/true, 60'000); }),
+            ServerErrorKind::kInternal);
+  EXPECT_EQ(served.stats().failed, 1u);
+  served.drain();
+}
+
+}  // namespace
+}  // namespace aeep::server

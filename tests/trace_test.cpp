@@ -274,5 +274,52 @@ TEST(TraceValidate, RelativeErrorEdgeCases) {
   EXPECT_EQ(relative_error(0.0, 5.0), 1.0);
 }
 
+// A valid header+footer with zero events is a legal capture (a run whose
+// warm-up consumed everything), not a damaged file: replay must produce
+// empty metrics, never throw.
+TEST(TraceReplay, HeaderOnlyTraceReplaysToEmptyMetrics) {
+  const std::string path = temp_path("replay_empty");
+  write_trace(path, {});
+  ReplayConfig rc;
+  rc.hierarchy = sim::make_system_config("gzip", {}).hierarchy;
+  rc.trace_path = path;
+  ReplayDriver driver(std::move(rc));
+  const sim::RunResult r = driver.run();
+  EXPECT_EQ(driver.events_replayed(), 0u);
+  EXPECT_EQ(r.l2.accesses(), 0u);
+  EXPECT_EQ(r.wb_total(), 0u);
+  EXPECT_EQ(r.avg_dirty_fraction, 0.0);
+  // The capture summary still travels: committed/loads/stores come from
+  // the footer even when no events do.
+  EXPECT_EQ(r.core.committed, 123u);
+  std::remove(path.c_str());
+}
+
+// A trace whose event count is an exact multiple of the chunk size ends
+// with a completely full final chunk — the footer sits exactly on a CRC
+// boundary. Every event must replay; nothing may be mistaken for
+// truncation.
+TEST(TraceReplay, FinalChunkExactlyAtCrcBoundary) {
+  const std::string path = temp_path("replay_boundary");
+  const auto events = synthetic_events(16);
+  write_trace(path, events, /*chunk_events=*/8);  // 2 chunks, both full
+  {
+    TraceReader reader(path);
+    TraceEvent e;
+    u64 n = 0;
+    while (reader.next(e)) ++n;
+    EXPECT_EQ(n, 16u);
+    EXPECT_EQ(reader.chunks_read(), 2u);
+  }
+  ReplayConfig rc;
+  rc.hierarchy = sim::make_system_config("gzip", {}).hierarchy;
+  rc.trace_path = path;
+  ReplayDriver driver(std::move(rc));
+  const sim::RunResult r = driver.run();
+  EXPECT_EQ(driver.events_replayed(), 16u);
+  EXPECT_EQ(r.core.committed, 123u);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace aeep::trace

@@ -1,0 +1,161 @@
+// aeep_client — submit experiments to a running aeep_served.
+//
+//   aeep_client ping    [--host=127.0.0.1 --port=7421]
+//   aeep_client traces  — list the traces the server will replay by name
+//   aeep_client stats   — queue depth, counters, uptime
+//   aeep_client submit  [job flags]            -> prints the job id
+//   aeep_client status  --job=N
+//   aeep_client result  --job=N [--wait-ms=60000]
+//   aeep_client run     [job flags] [--json=FILE]   — submit + wait inline
+//
+// Job flags: --benchmark=gzip --frontend=exec|trace --scheme=uniform-ecc|
+// non-uniform|shared-ecc-array --cleaning-policy=written-bit|naive|
+// decay-counter|eager-idle --interval=N --decay-threshold=N --entries=N
+// --instructions=N --warmup=N --seed=N --maintain-codes --trace=NAME
+// --timeout-ms=N
+//
+// `run --json=FILE` writes the bench pipeline's schema-v1 document (one
+// cell, tag "server"), so a remote run diffs key-for-key against a local
+// bench cell. Exit codes: 0 ok, 2 usage, 3 busy (backpressure), 4 not
+// found, 5 job timeout, 1 anything else.
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "json_reporter.hpp"
+#include "server/client.hpp"
+
+using namespace aeep;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: aeep_client <ping|traces|stats|submit|status|result|run> "
+      "[--host=127.0.0.1] [--port=7421] [--flags]\n"
+      "  submit/run job flags: --benchmark --frontend=exec|trace --scheme "
+      "--cleaning-policy --interval --decay-threshold --entries "
+      "--instructions --warmup --seed --maintain-codes --trace --timeout-ms\n"
+      "  status/result: --job=N [--wait-ms=MS]   run: [--json=FILE]\n");
+  return 2;
+}
+
+void check_flags(const CliArgs& args) {
+  const auto unused = args.unused();
+  if (!unused.empty()) {
+    std::fprintf(stderr, "unknown flag(s):");
+    for (const auto& k : unused) std::fprintf(stderr, " --%s", k.c_str());
+    std::fprintf(stderr, "\naccepted flags:");
+    for (const auto& k : args.queried())
+      std::fprintf(stderr, " --%s", k.c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
+}
+
+server::JobSpec parse_job(const CliArgs& args) {
+  server::JobSpec spec;
+  spec.benchmark = args.get("benchmark", spec.benchmark);
+  spec.frontend = server::frontend_from_string(args.get("frontend", "exec"));
+  spec.scheme =
+      server::scheme_from_string(args.get("scheme", "uniform-ecc"));
+  spec.cleaning_policy = server::cleaning_policy_from_string(
+      args.get("cleaning-policy", "written-bit"));
+  spec.cleaning_interval = args.get_u64("interval", spec.cleaning_interval);
+  spec.decay_threshold = static_cast<unsigned>(
+      args.get_u64("decay-threshold", spec.decay_threshold));
+  spec.ecc_entries_per_set = static_cast<unsigned>(
+      args.get_u64("entries", spec.ecc_entries_per_set));
+  spec.instructions = args.get_u64("instructions", spec.instructions);
+  spec.warmup = args.get_u64("warmup", spec.warmup);
+  spec.seed = args.get_u64("seed", spec.seed);
+  spec.maintain_codes = args.get_bool("maintain-codes", spec.maintain_codes);
+  spec.trace = args.get("trace", spec.trace);
+  spec.timeout_ms = args.get_u64("timeout-ms", spec.timeout_ms);
+  return spec;
+}
+
+void print_reply(const JsonValue& reply) {
+  std::printf("%s\n", reply.dump(2).c_str());
+}
+
+int run_command(server::Client& client, const CliArgs& args) {
+  const server::JobSpec spec = parse_job(args);
+  const std::string json_path = args.get("json", "");
+  check_flags(args);
+  const JsonValue reply = client.run(spec);
+  const JsonValue* metrics = reply.find("metrics");
+  if (!json_path.empty() && metrics) {
+    bench::CommonOptions o;
+    o.instructions = spec.instructions;
+    o.warmup = spec.warmup;
+    o.seed = spec.seed;
+    o.suite = spec.benchmark;
+    o.frontend = sim::to_string(spec.frontend);
+    bench::JsonReporter reporter("server_run", o, 0);
+    reporter.set_config("scheme",
+                        JsonValue::string(protect::to_string(spec.scheme)));
+    reporter.set_config("wall_ms",
+                        JsonValue::number(reply.get_double("wall_ms", 0.0)));
+    reporter.add_cell(spec.benchmark, "server", *metrics);
+    if (!reporter.write(json_path)) return 1;
+  }
+  print_reply(reply);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help") {
+    usage();
+    return 0;
+  }
+  const CliArgs args = parse_cli_or_exit(argc - 1, argv + 1);
+  const std::string host = args.get("host", "127.0.0.1");
+  const u16 port = static_cast<u16>(args.get_u64("port", 7421));
+  try {
+    server::Client client(host, port);
+    if (cmd == "ping") {
+      check_flags(args);
+      print_reply(client.ping());
+    } else if (cmd == "traces") {
+      check_flags(args);
+      for (const auto& name : client.traces())
+        std::printf("%s\n", name.c_str());
+    } else if (cmd == "stats") {
+      check_flags(args);
+      print_reply(client.stats());
+    } else if (cmd == "submit") {
+      const server::JobSpec spec = parse_job(args);
+      check_flags(args);
+      const u64 id = client.submit(spec);
+      std::printf("job %llu queued\n", static_cast<unsigned long long>(id));
+    } else if (cmd == "status") {
+      const u64 id = args.get_u64("job", 0);
+      check_flags(args);
+      print_reply(client.status(id));
+    } else if (cmd == "result") {
+      const u64 id = args.get_u64("job", 0);
+      const u64 wait_ms = args.get_u64("wait-ms", 60'000);
+      check_flags(args);
+      print_reply(client.result(id, /*wait=*/true, wait_ms));
+    } else if (cmd == "run") {
+      return run_command(client, args);
+    } else {
+      return usage();
+    }
+  } catch (const server::ServerError& e) {
+    std::fprintf(stderr, "aeep_client: %s\n", e.what());
+    switch (e.kind()) {
+      case server::ServerErrorKind::kBusy: return 3;
+      case server::ServerErrorKind::kNotFound: return 4;
+      case server::ServerErrorKind::kTimeout: return 5;
+      default: return 1;
+    }
+  }
+  return 0;
+}

@@ -23,6 +23,10 @@
 #     reads/writes into typed TraceErrors instead of silently-ignored return
 #     values. Tests are exempt — they deliberately craft truncated/corrupt
 #     files to exercise those error paths.
+#  6. No raw socket()/send()/recv() outside src/server/: network I/O must
+#     go through server::Socket/Listener (server/socket.hpp), which retry
+#     short transfers and EINTR and turn failures into typed ServerErrors —
+#     the networking twin of Rule 5.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -75,6 +79,15 @@ hits=$(grep -rnE '\bstd::f(read|write)\(|(^|[^:_[:alnum:]])f(read|write)\(' \
 if [[ -n "$hits" ]]; then
   report "raw fread()/fwrite() outside src/trace/io is banned;
 use trace::FileReader/FileWriter so short I/O raises a typed error" "$hits"
+fi
+
+# --- Rule 6: raw sockets outside the server I/O helpers --------------------
+hits=$(grep -rnE '(^|[^._[:alnum:]])(socket|send|recv|sendto|recvfrom)[[:space:]]*\(' \
+         src tools bench examples tests "${CXX_GLOBS[@]}" \
+         | grep -v '^src/server/socket\.' || true)
+if [[ -n "$hits" ]]; then
+  report "raw socket()/send()/recv() outside src/server/socket.* is banned;
+use server::Socket/Listener so short transfers raise a typed error" "$hits"
 fi
 
 if [[ $fail -eq 0 ]]; then

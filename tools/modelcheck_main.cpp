@@ -242,7 +242,7 @@ int run_replay(const CliArgs& args, const std::string& replay) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args = parse_cli_or_exit(argc, argv);
 
   const std::string replay = args.get("replay", "");
   if (!replay.empty()) return run_replay(args, replay);

@@ -187,7 +187,7 @@ int cmd_info(const CliArgs& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  const CliArgs args(argc - 1, argv + 1);
+  const CliArgs args = parse_cli_or_exit(argc - 1, argv + 1);
   try {
     if (cmd == "capture") return cmd_capture(args);
     if (cmd == "replay") return cmd_replay(args);
