@@ -319,8 +319,12 @@ class Parser {
         return false;
       }
       if (c != '\\') {
-        out += c;
-        ++pos_;
+        if (static_cast<unsigned char>(c) < 0x80) {
+          out += c;
+          ++pos_;
+        } else if (!utf8_sequence(out)) {
+          return false;
+        }
         continue;
       }
       if (pos_ + 1 >= text_.size()) {
@@ -366,6 +370,48 @@ class Parser {
     }
     fail("unterminated string");
     return false;
+  }
+
+  /// Consume one multi-byte UTF-8 sequence starting at pos_. Strings must
+  /// be well-formed UTF-8 (RFC 8259 §8.1): a stray high byte — a flipped
+  /// bit in a wire frame, say — is a parse error, not payload.
+  bool utf8_sequence(std::string& out) {
+    const auto lead = static_cast<unsigned char>(text_[pos_]);
+    std::size_t extra;
+    unsigned cp;
+    if (lead >= 0xC2 && lead <= 0xDF) {
+      extra = 1;
+      cp = lead & 0x1Fu;
+    } else if (lead >= 0xE0 && lead <= 0xEF) {
+      extra = 2;
+      cp = lead & 0x0Fu;
+    } else if (lead >= 0xF0 && lead <= 0xF4) {
+      extra = 3;
+      cp = lead & 0x07u;
+    } else {  // continuation byte, overlong 0xC0/0xC1, or > 0xF4
+      fail("invalid UTF-8 in string");
+      return false;
+    }
+    if (pos_ + extra >= text_.size()) {
+      fail("invalid UTF-8 in string");
+      return false;
+    }
+    for (std::size_t i = 1; i <= extra; ++i) {
+      const auto b = static_cast<unsigned char>(text_[pos_ + i]);
+      if (b < 0x80 || b > 0xBF) {
+        fail("invalid UTF-8 in string");
+        return false;
+      }
+      cp = (cp << 6) | (b & 0x3Fu);
+    }
+    const unsigned floor = extra == 1 ? 0x80u : extra == 2 ? 0x800u : 0x10000u;
+    if (cp < floor || cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) {
+      fail("invalid UTF-8 in string");  // overlong, surrogate, or past max
+      return false;
+    }
+    out.append(text_.substr(pos_, extra + 1));
+    pos_ += extra + 1;
+    return true;
   }
 
   bool hex4(unsigned& out) {

@@ -1,0 +1,119 @@
+#include "fabric/registry.hpp"
+
+#include <stdexcept>
+
+namespace aeep::fabric {
+
+const char* to_string(WorkerState s) {
+  switch (s) {
+    case WorkerState::kHealthy: return "healthy";
+    case WorkerState::kSuspect: return "suspect";
+    case WorkerState::kRetired: return "retired";
+  }
+  return "?";
+}
+
+WorkerEndpoint parse_endpoint(const std::string& text) {
+  WorkerEndpoint ep;
+  std::string port_text = text;
+  const auto colon = text.rfind(':');
+  if (colon != std::string::npos) {
+    ep.host = text.substr(0, colon);
+    port_text = text.substr(colon + 1);
+    if (ep.host.empty())
+      throw std::invalid_argument("worker endpoint '" + text +
+                                  "' has an empty host");
+  }
+  if (port_text.empty() ||
+      port_text.find_first_not_of("0123456789") != std::string::npos)
+    throw std::invalid_argument("worker endpoint '" + text +
+                                "' needs a numeric port (host:port)");
+  const unsigned long port = std::stoul(port_text);
+  if (port == 0 || port > 65535)
+    throw std::invalid_argument("worker endpoint '" + text +
+                                "' port out of range");
+  ep.port = static_cast<u16>(port);
+  return ep;
+}
+
+WorkerRegistry::WorkerRegistry(std::vector<WorkerEndpoint> workers,
+                               unsigned retire_after)
+    : retire_after_(retire_after),
+      epoch_(std::chrono::steady_clock::now()) {
+  workers_.reserve(workers.size());
+  for (auto& ep : workers) workers_.push_back(Entry{std::move(ep), {}, 0});
+}
+
+std::size_t WorkerRegistry::live() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& e : workers_)
+    if (e.state != WorkerState::kRetired) ++n;
+  return n;
+}
+
+const WorkerEndpoint& WorkerRegistry::endpoint(std::size_t idx) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.at(idx).endpoint;
+}
+
+WorkerState WorkerRegistry::state(std::size_t idx) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.at(idx).state;
+}
+
+unsigned WorkerRegistry::consecutive_failures(std::size_t idx) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.at(idx).consecutive_failures;
+}
+
+void WorkerRegistry::note_success(std::size_t idx) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = workers_.at(idx);
+  if (e.state == WorkerState::kRetired) return;
+  e.consecutive_failures = 0;
+  e.state = WorkerState::kHealthy;
+}
+
+bool WorkerRegistry::note_failure(std::size_t idx, const std::string& reason) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = workers_.at(idx);
+  if (e.state == WorkerState::kRetired) return false;
+  ++e.consecutive_failures;
+  if (retire_after_ != 0 && e.consecutive_failures >= retire_after_) {
+    retire_locked(e, reason);
+    return true;
+  }
+  e.state = WorkerState::kSuspect;
+  return false;
+}
+
+void WorkerRegistry::retire(std::size_t idx, const std::string& reason) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = workers_.at(idx);
+  if (e.state == WorkerState::kRetired) return;
+  retire_locked(e, reason);
+}
+
+void WorkerRegistry::retire_locked(Entry& e, const std::string& reason) {
+  e.state = WorkerState::kRetired;
+  RetirementRecord rec;
+  rec.worker = e.endpoint.display_name();
+  rec.reason = reason;
+  rec.consecutive_failures = e.consecutive_failures;
+  rec.t_ms = static_cast<u64>(ms_since_epoch_locked());
+  log_.push_back(std::move(rec));
+}
+
+double WorkerRegistry::ms_since_epoch_locked() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::vector<RetirementRecord> WorkerRegistry::retirement_log() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return log_;
+}
+
+}  // namespace aeep::fabric

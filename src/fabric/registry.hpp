@@ -1,0 +1,103 @@
+// Fleet membership and health for the sweep fabric. Every worker the
+// coordinator knows about lives here with a consecutive-failure score; a
+// success wipes the score, a failure bumps it, and a worker that keeps
+// flapping past the threshold is *permanently retired* — the same policy
+// HARP applies to unreliable DRAM rows and RecoveryController applies to
+// cache ways that keep faulting: stop retrying a component that has proven
+// itself bad, and record why. The retirement log is the audit trail CI
+// greps to prove a killed worker was actually detected and benched.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace aeep::fabric {
+
+/// One worker's address. `name` is how it appears in logs and the
+/// retirement record; defaults to "host:port".
+struct WorkerEndpoint {
+  std::string host = "127.0.0.1";
+  u16 port = 0;
+  std::string name;
+
+  std::string display_name() const {
+    return name.empty() ? host + ":" + std::to_string(port) : name;
+  }
+};
+
+/// Parse "host:port" (or bare "port", host defaulting to 127.0.0.1).
+/// Throws std::invalid_argument on garbage.
+WorkerEndpoint parse_endpoint(const std::string& text);
+
+enum class WorkerState {
+  kHealthy,  ///< last contact succeeded (or never contacted)
+  kSuspect,  ///< >= 1 consecutive failure; still dispatched, with backoff
+  kRetired,  ///< crossed the threshold; never dispatched again
+};
+
+const char* to_string(WorkerState s);
+
+/// One permanent retirement, with enough context to audit it later.
+struct RetirementRecord {
+  std::string worker;            ///< endpoint display name
+  std::string reason;            ///< last failure's description
+  unsigned consecutive_failures = 0;
+  u64 t_ms = 0;                  ///< ms since the registry was created
+};
+
+/// Thread-safe: the coordinator's worker threads score their own endpoint
+/// while the monitor thread reads fleet health.
+class WorkerRegistry {
+ public:
+  /// `retire_after` consecutive failures retire a worker; 0 means never
+  /// retire (every failure still marks the worker suspect).
+  WorkerRegistry(std::vector<WorkerEndpoint> workers, unsigned retire_after);
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Workers not (yet) retired — the fleet the coordinator can still use.
+  std::size_t live() const;
+
+  const WorkerEndpoint& endpoint(std::size_t idx) const;
+  WorkerState state(std::size_t idx) const;
+  bool retired(std::size_t idx) const {
+    return state(idx) == WorkerState::kRetired;
+  }
+  unsigned consecutive_failures(std::size_t idx) const;
+
+  /// A completed round trip: clears the failure streak, back to healthy.
+  /// No-op on a retired worker (retirement is permanent).
+  void note_success(std::size_t idx);
+
+  /// A failed round trip / probe. Returns true iff *this* failure crossed
+  /// the threshold and retired the worker (the caller stops using it).
+  bool note_failure(std::size_t idx, const std::string& reason);
+
+  /// Force-retire (e.g. a worker that answered "draining").
+  void retire(std::size_t idx, const std::string& reason);
+
+  std::vector<RetirementRecord> retirement_log() const;
+
+ private:
+  struct Entry {
+    WorkerEndpoint endpoint;
+    WorkerState state = WorkerState::kHealthy;
+    unsigned consecutive_failures = 0;
+  };
+
+  void retire_locked(Entry& e, const std::string& reason);
+  double ms_since_epoch_locked() const;
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> workers_;
+  unsigned retire_after_;
+  std::vector<RetirementRecord> log_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace aeep::fabric

@@ -9,11 +9,12 @@ namespace aeep::server {
 
 AccessLog::~AccessLog() { close(); }
 
-void AccessLog::open(const std::string& path) {
+void AccessLog::open(const std::string& path, u64 max_bytes) {
   close();
   if (path == "-") {
     out_ = stderr;
     owns_ = false;
+    max_bytes_ = 0;  // rotating stderr makes no sense
   } else {
     out_ = std::fopen(path.c_str(), "a");
     if (!out_)
@@ -21,7 +22,16 @@ void AccessLog::open(const std::string& path) {
                         "cannot open access log '" + path +
                             "': " + std::strerror(errno));
     owns_ = true;
+    path_ = path;
+    max_bytes_ = max_bytes;
+    // Appending to an existing file: its current size counts against the
+    // budget, or restarts would defeat the bound.
+    if (std::fseek(out_, 0, SEEK_END) == 0) {
+      const long pos = std::ftell(out_);
+      written_ = pos > 0 ? static_cast<u64>(pos) : 0;
+    }
   }
+  rotations_ = 0;
   seq_ = 0;
   epoch_ = std::chrono::steady_clock::now();
 }
@@ -30,6 +40,32 @@ void AccessLog::close() {
   if (out_ && owns_) std::fclose(out_);
   out_ = nullptr;
   owns_ = false;
+  path_.clear();
+  max_bytes_ = 0;
+  written_ = 0;
+}
+
+u64 AccessLog::rotated() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rotations_;
+}
+
+void AccessLog::rotate_locked() {
+  std::fclose(out_);
+  out_ = nullptr;
+  const std::string old = path_ + ".1";
+  std::remove(old.c_str());
+  if (std::rename(path_.c_str(), old.c_str()) != 0) {
+    // Rotation failed (permissions?): reopen the original and keep
+    // appending — an over-budget log beats a lost one.
+    out_ = std::fopen(path_.c_str(), "a");
+    return;
+  }
+  out_ = std::fopen(path_.c_str(), "a");
+  if (out_) {
+    written_ = 0;
+    ++rotations_;
+  }
 }
 
 void AccessLog::write(const std::string& event, JsonValue fields) {
@@ -39,14 +75,20 @@ void AccessLog::write(const std::string& event, JsonValue fields) {
   for (const auto& [key, value] : fields.members())
     entry.set(key, value);
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_) return;  // a failed rotation may have lost the stream
   const auto t_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                         std::chrono::steady_clock::now() - epoch_)
                         .count();
   entry.set("seq", JsonValue::number(seq_++));
   entry.set("t_ms", JsonValue::number(static_cast<u64>(t_ms < 0 ? 0 : t_ms)));
   const std::string line = entry.dump(0) + "\n";
+  if (owns_ && max_bytes_ != 0 && written_ + line.size() > max_bytes_ &&
+      written_ > 0)
+    rotate_locked();
+  if (!out_) return;
   std::fputs(line.c_str(), out_);
   std::fflush(out_);
+  written_ += line.size();
 }
 
 }  // namespace aeep::server

@@ -3,6 +3,11 @@
 // and drain behaviour without regex-scraping prose. Entries are stamped
 // with a monotonic sequence number and milliseconds since the log opened;
 // a mutex serialises writers because every connection thread logs.
+//
+// The log is bounded: when `max_bytes` is set and an append would push the
+// file past it, the file rotates (path -> path.1, clobbering any previous
+// .1) before the entry lands — a long-lived worker cannot fill the disk,
+// and the two files together always hold the most recent history.
 #pragma once
 
 #include <chrono>
@@ -11,6 +16,7 @@
 #include <string>
 
 #include "common/json.hpp"
+#include "common/types.hpp"
 
 namespace aeep::server {
 
@@ -24,11 +30,16 @@ class AccessLog {
 
   /// Open `path` for appending ("-" = stderr). Throws ServerError(kIo).
   /// A default-constructed / never-opened log swallows writes, so callers
-  /// log unconditionally and the config decides.
-  void open(const std::string& path);
+  /// log unconditionally and the config decides. `max_bytes` bounds the
+  /// file via rotation to `path.1`; 0 = unbounded. Rotation never applies
+  /// to stderr.
+  void open(const std::string& path, u64 max_bytes = 0);
   void close();
 
   bool enabled() const { return out_ != nullptr; }
+
+  /// Completed rotations since open().
+  u64 rotated() const;
 
   /// Append one entry. `event` lands first, then the caller's fields,
   /// then "seq" and "t_ms" — one dump(0) line, flushed immediately so a
@@ -36,9 +47,18 @@ class AccessLog {
   void write(const std::string& event, JsonValue fields);
 
  private:
+  /// path_ -> path_.1 and reopen. Caller holds mutex_. Best-effort: a
+  /// failed rotation keeps appending to the old file rather than losing
+  /// log lines.
+  void rotate_locked();
+
   std::FILE* out_ = nullptr;
   bool owns_ = false;  ///< false for "-" (stderr)
-  std::mutex mutex_;
+  std::string path_;
+  u64 max_bytes_ = 0;
+  u64 written_ = 0;  ///< bytes appended to the current file since open
+  u64 rotations_ = 0;
+  mutable std::mutex mutex_;
   u64 seq_ = 0;
   std::chrono::steady_clock::time_point epoch_{};
 };

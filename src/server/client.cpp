@@ -13,7 +13,7 @@ JsonValue Client::make_request(const std::string& type) {
 
 JsonValue Client::call(const JsonValue& request) {
   send_frame(sock_, request);
-  auto reply = recv_frame(sock_);
+  auto reply = recv_frame(sock_, call_timeout_ms_);
   if (!reply)
     throw ServerError(ServerErrorKind::kIo,
                       "server closed the connection mid-call");
@@ -51,6 +51,14 @@ JsonValue Client::run(const JobSpec& spec) {
 }
 
 JsonValue Client::stats() { return check_reply(call(make_request("stats"))); }
+
+JsonValue Client::health() {
+  return check_reply(call(make_request("health")));
+}
+
+JsonValue Client::drain() {
+  return check_reply(call(make_request("drain")));
+}
 
 std::vector<std::string> Client::traces() {
   const JsonValue reply = check_reply(call(make_request("traces")));

@@ -24,6 +24,12 @@ class Client {
   /// not); throws ServerError(kIo) when the server hangs up mid-call.
   JsonValue call(const JsonValue& request);
 
+  /// Bound every call()'s reply wait. A server (or chaos proxy) that
+  /// swallows the reply then surfaces as ServerError(kIo) after this long
+  /// instead of hanging the caller forever. Negative = wait forever (the
+  /// default, matching the original blocking behaviour).
+  void set_call_timeout_ms(int timeout_ms) { call_timeout_ms_ = timeout_ms; }
+
   /// Checked calls: each raises a not-ok reply as its typed ServerError.
   JsonValue ping();
   u64 submit(const JobSpec& spec);                ///< -> job id (kBusy!)
@@ -31,6 +37,8 @@ class Client {
   JsonValue result(u64 job_id, bool wait = true, u64 wait_ms = 60'000);
   JsonValue run(const JobSpec& spec);             ///< submit + wait inline
   JsonValue stats();
+  JsonValue health();                             ///< liveness + drain state
+  JsonValue drain();                              ///< ask the server to drain
   std::vector<std::string> traces();
 
   /// Helper: a bare {"type": <type>} request object.
@@ -38,6 +46,7 @@ class Client {
 
  private:
   Socket sock_;
+  int call_timeout_ms_ = -1;
 };
 
 }  // namespace aeep::server

@@ -45,7 +45,8 @@ JobServer::~JobServer() { stop(); }
 void JobServer::start() {
   if (started_.exchange(true)) return;
   if (!config_.trace_dir.empty()) registry_.scan_directory(config_.trace_dir);
-  if (!config_.access_log_path.empty()) log_.open(config_.access_log_path);
+  if (!config_.access_log_path.empty())
+    log_.open(config_.access_log_path, config_.access_log_max_bytes);
   runner_ = std::make_unique<sim::SweepRunner>(config_.workers);
   listener_ = std::make_unique<Listener>(config_.host, config_.port);
   started_at_ = Clock::now();
@@ -390,6 +391,8 @@ JsonValue JobServer::handle_request(const JsonValue& req, u64 conn_id) {
     if (type == "run") return handle_run(req);
     if (type == "stats") return handle_stats();
     if (type == "traces") return handle_traces();
+    if (type == "health") return handle_health();
+    if (type == "drain") return handle_drain();
     throw ServerError(ServerErrorKind::kBadRequest,
                       "unknown request type '" + type + "'");
   } catch (const ServerError& e) {
@@ -571,6 +574,30 @@ JsonValue JobServer::handle_stats() const {
   r.set("timed_out", JsonValue::number(s.timed_out));
   r.set("batches", JsonValue::number(s.batches));
   r.set("registered_traces", JsonValue::number(u64{registry_.size()}));
+  r.set("access_log_rotated", JsonValue::number(log_.rotated()));
+  return r;
+}
+
+JsonValue JobServer::handle_health() const {
+  // Deliberately cheap — the fabric coordinator probes every worker with
+  // this before dispatch, so it must answer fast even under load.
+  JsonValue r = ok_reply("health");
+  r.set("draining", JsonValue::boolean(draining_.load()));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  r.set("queued", JsonValue::number(u64{queue_.size()}));
+  r.set("running", JsonValue::number(u64{running_count_}));
+  r.set("queue_capacity", JsonValue::number(u64{config_.queue_capacity}));
+  return r;
+}
+
+JsonValue JobServer::handle_drain() {
+  // Remote equivalent of aeep_served's SIGTERM path: stop accepting new
+  // submits, let the queue finish. The reply confirms the state flip so a
+  // coordinator can retire the worker immediately instead of discovering
+  // kShutdown bounces one submit at a time.
+  request_drain();
+  JsonValue r = ok_reply("drain");
+  r.set("draining", JsonValue::boolean(true));
   return r;
 }
 

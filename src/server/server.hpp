@@ -52,6 +52,7 @@ struct ServerConfig {
   std::size_t result_retention = 4096;  ///< finished jobs kept queryable
   std::string trace_dir;             ///< scanned into the trace registry
   std::string access_log_path;       ///< empty = no access log; "-" = stderr
+  u64 access_log_max_bytes = 0;      ///< rotate to .1 past this; 0 = never
 };
 
 enum class JobState { kQueued, kRunning, kDone, kFailed, kTimeout };
@@ -141,6 +142,8 @@ class JobServer {
   JsonValue handle_run(const JsonValue& req);
   JsonValue handle_stats() const;
   JsonValue handle_traces() const;
+  JsonValue handle_health() const;
+  JsonValue handle_drain();
 
   /// Validate + enqueue; returns the new job id. Throws ServerError
   /// (kBusy, kShutdown, kNotFound, kBadRequest). Caller holds no lock.

@@ -3,7 +3,8 @@
 //   Frame := payload_bytes u32 (little-endian) | payload (UTF-8 JSON)
 //
 // Every request and reply is one frame holding one JSON object. Requests
-// carry a "type" ("ping", "submit", "status", "result", "run", "stats");
+// carry a "type" ("ping", "submit", "status", "result", "run", "stats",
+// "traces", "health", "drain");
 // replies always carry "ok" (bool) and, when ok is false, a stable "error"
 // wire code from error.hpp plus a human "message". The job descriptor —
 // the JSON shape of one experiment — maps 1:1 onto sim::ExperimentOptions
@@ -68,6 +69,14 @@ JobSpec job_spec_from_json(const JsonValue& doc);
 /// The ExperimentOptions this job runs under. For kTrace jobs the caller
 /// (the server) must still fill options.trace_path from its registry.
 sim::ExperimentOptions to_experiment_options(const JobSpec& spec);
+
+/// Inverse of to_experiment_options: the JobSpec that makes a remote worker
+/// run exactly this local experiment. This is how the fabric coordinator
+/// ships a sim::SweepJob over the wire; round-tripping through it and back
+/// must reproduce the options bit-for-bit, or fabric results could not be
+/// compared against a local SweepRunner.
+JobSpec job_spec_from_options(const std::string& benchmark,
+                              const sim::ExperimentOptions& options);
 
 /// Enum spellings shared with the table/CLI output (to_string inverses).
 protect::SchemeKind scheme_from_string(const std::string& s);

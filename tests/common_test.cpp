@@ -426,6 +426,34 @@ TEST(JsonParse, RejectsMalformedInput) {
   }
 }
 
+TEST(JsonParse, WellFormedUtf8PassesThroughVerbatim) {
+  const auto v = json_parse("[\"caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80\"]");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->elements()[0].as_string(),
+            "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsInvalidUtf8InStrings) {
+  // A single flipped bit inside a wire frame turns an ASCII byte into a
+  // stray high byte; the parser must surface that as an error instead of
+  // smuggling mojibake into accepted payloads.
+  const char* bad[] = {
+      "\"gz\x93p\"",          // lone continuation byte ('i' ^ 0xFF)
+      "\"\xc3\"",             // truncated 2-byte sequence
+      "\"\xc3(\"",            // continuation replaced by ASCII
+      "\"\xc0\xaf\"",         // overlong encoding of '/'
+      "\"\xe0\x80\x80\"",     // overlong 3-byte encoding
+      "\"\xed\xa0\x80\"",     // UTF-8-encoded surrogate
+      "\"\xf5\x80\x80\x80\"", // past U+10FFFF
+      "\"\xff\"",             // not a UTF-8 lead byte at all
+  };
+  for (const char* text : bad) {
+    std::string error;
+    EXPECT_FALSE(json_parse(text, &error).has_value()) << text;
+    EXPECT_NE(error.find("UTF-8"), std::string::npos) << text;
+  }
+}
+
 TEST(JsonParse, DepthLimitStopsNestingBombs) {
   std::string deep(200, '[');
   deep += std::string(200, ']');

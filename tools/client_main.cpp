@@ -3,10 +3,18 @@
 //   aeep_client ping    [--host=127.0.0.1 --port=7421]
 //   aeep_client traces  — list the traces the server will replay by name
 //   aeep_client stats   — queue depth, counters, uptime
+//   aeep_client health  — liveness + drain state (what the fabric probes)
+//   aeep_client drain   — ask the server to stop accepting new jobs
 //   aeep_client submit  [job flags]            -> prints the job id
 //   aeep_client status  --job=N
 //   aeep_client result  --job=N [--wait-ms=60000]
 //   aeep_client run     [job flags] [--json=FILE]   — submit + wait inline
+//
+// Connection flags: --retries=N (re-attempt a refused connection N more
+// times) and --backoff-ms=MS (base of the jittered exponential backoff
+// between attempts — the same fabric::Backoff schedule the coordinator
+// uses). A server that stays unreachable exits 6 with a plain-language
+// message, not a raw errno.
 //
 // Job flags: --benchmark=gzip --frontend=exec|trace --scheme=uniform-ecc|
 // non-uniform|shared-ecc-array --cleaning-policy=written-bit|naive|
@@ -17,11 +25,12 @@
 // `run --json=FILE` writes the bench pipeline's schema-v1 document (one
 // cell, tag "server"), so a remote run diffs key-for-key against a local
 // bench cell. Exit codes: 0 ok, 2 usage, 3 busy (backpressure), 4 not
-// found, 5 job timeout, 1 anything else.
+// found, 5 job timeout, 6 cannot connect, 1 anything else.
 #include <cstdio>
 #include <string>
 
 #include "common/cli.hpp"
+#include "fabric/backoff.hpp"
 #include "json_reporter.hpp"
 #include "server/client.hpp"
 
@@ -32,13 +41,45 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: aeep_client <ping|traces|stats|submit|status|result|run> "
-      "[--host=127.0.0.1] [--port=7421] [--flags]\n"
+      "usage: aeep_client "
+      "<ping|traces|stats|health|drain|submit|status|result|run> "
+      "[--host=127.0.0.1] [--port=7421] [--retries=N] [--backoff-ms=MS] "
+      "[--flags]\n"
       "  submit/run job flags: --benchmark --frontend=exec|trace --scheme "
       "--cleaning-policy --interval --decay-threshold --entries "
       "--instructions --warmup --seed --maintain-codes --trace --timeout-ms\n"
       "  status/result: --job=N [--wait-ms=MS]   run: [--json=FILE]\n");
   return 2;
+}
+
+/// Connect, retrying a refused/unreachable server on the fabric's jittered
+/// backoff schedule. A fleet of clients pointed at the same recovering
+/// server therefore does not reconnect in lockstep. Exits 6 (with a
+/// human-readable message, not a bare errno) when every attempt fails.
+server::Client connect_or_exit(const std::string& host, u16 port,
+                               unsigned retries, u64 backoff_base_ms) {
+  fabric::BackoffPolicy policy;
+  policy.base_ms = backoff_base_ms == 0 ? 1 : backoff_base_ms;
+  fabric::Backoff backoff(policy, /*seed=*/1);
+  for (unsigned attempt = 0;; ++attempt) {
+    try {
+      return server::Client(host, port);
+    } catch (const server::ServerError& e) {
+      if (attempt >= retries) {
+        std::fprintf(stderr,
+                     "aeep_client: cannot connect to %s:%u after %u "
+                     "attempt(s) — is aeep_served running there?\n"
+                     "  (%s)\n",
+                     host.c_str(), unsigned{port}, attempt + 1, e.what());
+        std::exit(6);
+      }
+      std::fprintf(stderr,
+                   "aeep_client: connect to %s:%u failed (attempt %u of %u), "
+                   "backing off...\n",
+                   host.c_str(), unsigned{port}, attempt + 1, retries + 1);
+      fabric::backoff_sleep(backoff);
+    }
+  }
 }
 
 void check_flags(const CliArgs& args) {
@@ -117,8 +158,11 @@ int main(int argc, char** argv) {
   const CliArgs args = parse_cli_or_exit(argc - 1, argv + 1);
   const std::string host = args.get("host", "127.0.0.1");
   const u16 port = static_cast<u16>(args.get_u64("port", 7421));
+  const unsigned retries =
+      static_cast<unsigned>(args.get_u64("retries", 0));
+  const u64 backoff_ms = args.get_u64("backoff-ms", 100);
   try {
-    server::Client client(host, port);
+    server::Client client = connect_or_exit(host, port, retries, backoff_ms);
     if (cmd == "ping") {
       check_flags(args);
       print_reply(client.ping());
@@ -129,6 +173,12 @@ int main(int argc, char** argv) {
     } else if (cmd == "stats") {
       check_flags(args);
       print_reply(client.stats());
+    } else if (cmd == "health") {
+      check_flags(args);
+      print_reply(client.health());
+    } else if (cmd == "drain") {
+      check_flags(args);
+      print_reply(client.drain());
     } else if (cmd == "submit") {
       const server::JobSpec spec = parse_job(args);
       check_flags(args);

@@ -13,7 +13,8 @@
 // and print it), --workers (0 = hardware), --queue-capacity, --max-batch,
 // --max-connections, --timeout-ms (default per-job wall clock),
 // --retention (finished jobs kept queryable), --trace-dir (directory of
-// .aeept files clients may name), --access-log (file; "-" = stderr).
+// .aeept files clients may name), --access-log (file; "-" = stderr),
+// --access-log-max-bytes (rotate the log to .1 past this size; 0 = never).
 #include <csignal>
 #include <cstdio>
 #include <thread>
@@ -48,6 +49,8 @@ int main(int argc, char** argv) {
       args.get_u64("retention", cfg.result_retention));
   cfg.trace_dir = args.get("trace-dir", "");
   cfg.access_log_path = args.get("access-log", "");
+  cfg.access_log_max_bytes =
+      args.get_u64("access-log-max-bytes", cfg.access_log_max_bytes);
   const auto unused = args.unused();
   if (!unused.empty()) {
     std::fprintf(stderr, "unknown flag(s):");
