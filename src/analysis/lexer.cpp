@@ -1,0 +1,218 @@
+#include "analysis/lexer.hpp"
+
+namespace aeep::analysis {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return is_ident_start(c) || (c >= '0' && c <= '9');
+}
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+/// String-literal prefixes that may precede a quote. R-suffixed forms
+/// start a raw string instead of an escaped one.
+bool is_string_prefix(const std::string& id, bool& raw) {
+  if (id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR") {
+    raw = true;
+    return true;
+  }
+  raw = false;
+  return id == "u8" || id == "u" || id == "U" || id == "L";
+}
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char take() {
+    const char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+  std::size_t line() const { return line_; }
+
+ private:
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> out;
+  Cursor c(source);
+
+  auto emit = [&](TokenKind kind, std::string text, std::size_t line) {
+    out.push_back(Token{kind, std::move(text), line});
+  };
+
+  // Consume an escaped literal body up to the unescaped `quote`.
+  auto take_quoted = [&](std::string& text, char quote) {
+    while (!c.done()) {
+      const char ch = c.take();
+      text += ch;
+      if (ch == '\\' && !c.done()) {
+        text += c.take();  // escaped char, e.g. the quote or backslash
+        continue;
+      }
+      if (ch == quote) return;
+    }
+  };
+
+  // Consume a raw-string body: the opening `"` was taken; read the
+  // delimiter up to `(`, then scan for `)delim"`.
+  auto take_raw = [&](std::string& text) {
+    std::string delim;
+    while (!c.done() && c.peek() != '(') {
+      const char ch = c.take();
+      text += ch;
+      delim += ch;
+    }
+    if (c.done()) return;
+    text += c.take();  // '('
+    const std::string close = ")" + delim + "\"";
+    std::string window;
+    while (!c.done()) {
+      const char ch = c.take();
+      text += ch;
+      window += ch;
+      if (window.size() > close.size())
+        window.erase(window.begin(),
+                     window.end() - static_cast<long>(close.size()));
+      if (window == close) return;
+    }
+  };
+
+  while (!c.done()) {
+    const char ch = c.peek();
+    const std::size_t line = c.line();
+
+    if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n' || ch == '\f' ||
+        ch == '\v') {
+      c.take();
+      continue;
+    }
+
+    // Comments.
+    if (ch == '/' && c.peek(1) == '/') {
+      std::string text;
+      while (!c.done() && c.peek() != '\n') text += c.take();
+      emit(TokenKind::kComment, std::move(text), line);
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      std::string text;
+      text += c.take();
+      text += c.take();
+      while (!c.done()) {
+        const char body = c.take();
+        text += body;
+        if (body == '*' && c.peek() == '/') {
+          text += c.take();
+          break;
+        }
+      }
+      emit(TokenKind::kComment, std::move(text), line);
+      continue;
+    }
+
+    // Identifiers, keywords, and prefixed string literals.
+    if (is_ident_start(ch)) {
+      std::string id;
+      while (!c.done() && is_ident_char(c.peek())) id += c.take();
+      bool raw = false;
+      if (c.peek() == '"' && is_string_prefix(id, raw)) {
+        std::string text = id;
+        text += c.take();  // opening quote
+        if (raw) take_raw(text);
+        else take_quoted(text, '"');
+        emit(TokenKind::kString, std::move(text), line);
+        continue;
+      }
+      if (c.peek() == '\'' && (id == "u8" || id == "u" || id == "U" ||
+                               id == "L")) {
+        std::string text = id;
+        text += c.take();
+        take_quoted(text, '\'');
+        emit(TokenKind::kCharLiteral, std::move(text), line);
+        continue;
+      }
+      emit(TokenKind::kIdentifier, std::move(id), line);
+      continue;
+    }
+
+    // Numbers (pp-number: digits, letters, ., ', and +/- after eEpP) —
+    // lexing 1'000'000 as one token keeps the ' out of char-literal logic.
+    if (is_digit(ch) || (ch == '.' && is_digit(c.peek(1)))) {
+      std::string text;
+      text += c.take();
+      while (!c.done()) {
+        const char nc = c.peek();
+        if (is_ident_char(nc) || nc == '.') {
+          text += c.take();
+          continue;
+        }
+        if (nc == '\'' && is_ident_char(c.peek(1))) {
+          text += c.take();  // digit separator
+          continue;
+        }
+        if ((nc == '+' || nc == '-') && !text.empty()) {
+          const char prev = text.back();
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            text += c.take();
+            continue;
+          }
+        }
+        break;
+      }
+      emit(TokenKind::kNumber, std::move(text), line);
+      continue;
+    }
+
+    // Plain string / char literals.
+    if (ch == '"') {
+      std::string text;
+      text += c.take();
+      take_quoted(text, '"');
+      emit(TokenKind::kString, std::move(text), line);
+      continue;
+    }
+    if (ch == '\'') {
+      std::string text;
+      text += c.take();
+      take_quoted(text, '\'');
+      emit(TokenKind::kCharLiteral, std::move(text), line);
+      continue;
+    }
+
+    // Punctuation. Only the two operators rules match on ("::", "->")
+    // are kept multi-character; everything else is one char.
+    if (ch == ':' && c.peek(1) == ':') {
+      c.take();
+      c.take();
+      emit(TokenKind::kPunct, "::", line);
+      continue;
+    }
+    if (ch == '-' && c.peek(1) == '>') {
+      c.take();
+      c.take();
+      emit(TokenKind::kPunct, "->", line);
+      continue;
+    }
+    emit(TokenKind::kPunct, std::string(1, c.take()), line);
+  }
+
+  return out;
+}
+
+}  // namespace aeep::analysis

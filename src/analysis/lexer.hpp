@@ -1,0 +1,42 @@
+// Token-aware C++ lexer for aeep_lint.
+//
+// The grep rules in the old tools/lint.sh could not tell code from prose:
+// the word "new" inside an error message, "rand(" quoted in a comment, or a
+// banned pattern inside a raw string all tripped them. This lexer splits a
+// translation unit into identifiers, punctuation, literals and comments —
+// enough structure for every lint rule to match on *code* tokens only and
+// for allow-comments to be recognised as comments, not text.
+//
+// It is deliberately not a preprocessor or parser: no macro expansion, no
+// #include following, no grammar. Rules match shallow token patterns, which
+// is exactly the level the grep rules worked at — minus their
+// false-positive classes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aeep::analysis {
+
+enum class TokenKind {
+  kIdentifier,  ///< identifiers and keywords (the lexer does not split them)
+  kNumber,      ///< pp-number, including 1'000'000 digit separators
+  kString,      ///< "...", prefixed (u8"", L"") and raw (R"(...)") strings
+  kCharLiteral, ///< '...'
+  kComment,     ///< // to end of line, or /* ... */ (may span lines)
+  kPunct,       ///< one operator/punctuator; "::" and "->" stay one token
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   ///< exact source spelling (comments keep delimiters)
+  std::size_t line;   ///< 1-based line where the token starts
+};
+
+/// Lex `source` into tokens. Never throws on malformed input: an unclosed
+/// literal or comment becomes one token running to end-of-input, so a lint
+/// pass cannot crash on a file that the real compiler would reject anyway.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace aeep::analysis

@@ -1,0 +1,49 @@
+// aeep_lint's rule engine: the six tools/lint.sh grep rules re-implemented
+// over the token stream (no comment/string false positives), plus the
+// concurrency rules a grep cannot express.
+//
+// Every rule reports `file:line` findings and honours an inline escape
+// hatch: a comment containing `aeep-lint: allow(<rule>)` suppresses that
+// rule on the comment's own line and on the line directly below it —
+// trailing and preceding-line placements both work. Multiple rules may be
+// listed: `aeep-lint: allow(rule-a, rule-b)`.
+//
+// Rule applicability is path-based (repo-relative, forward slashes), which
+// is how the grep rules scoped themselves; `lint_file` takes the path and
+// the file content so tests can drive rules from embedded fixture strings
+// without touching the filesystem.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/lexer.hpp"
+
+namespace aeep::analysis {
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string name;
+  std::string description;
+};
+
+/// Every rule aeep_lint enforces, in report order (the README catalog is
+/// generated from this).
+const std::vector<RuleInfo>& rule_catalog();
+
+/// Lint one file. `path` must be repo-relative with forward slashes
+/// (e.g. "src/ecc/parity.cpp") — rule scoping keys off it.
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& source);
+
+/// Render a finding as the "file:line: [rule] message" report line.
+std::string format_finding(const Finding& f);
+
+}  // namespace aeep::analysis

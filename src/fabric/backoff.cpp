@@ -30,6 +30,8 @@ u64 Backoff::next_delay_ms() {
 }
 
 void backoff_sleep(Backoff& backoff) {
+  // Blocking here is the point: the retry schedule's cool-off.
+  // aeep-lint: allow(sleep-in-src)
   std::this_thread::sleep_for(
       std::chrono::milliseconds(backoff.next_delay_ms()));
 }

@@ -49,7 +49,7 @@ void ChaosProxy::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::list<Relay> doomed;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     doomed.splice(doomed.begin(), relays_);
   }
   for (auto& relay : doomed)
@@ -60,12 +60,12 @@ void ChaosProxy::stop() {
 }
 
 ChaosStats ChaosProxy::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return stats_;
 }
 
 void ChaosProxy::reset_stats() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   stats_ = ChaosStats{};
 }
 
@@ -80,7 +80,7 @@ void ChaosProxy::accept_loop() {
     }
     {
       // Reap relays that finished since the last pass.
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       for (auto it = relays_.begin(); it != relays_.end();) {
         if (it->done.load()) {
           it->thread.join();
@@ -92,7 +92,7 @@ void ChaosProxy::accept_loop() {
     }
     if (!sock) continue;
 
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++stats_.connections;
     const u64 conn_id = next_conn_id_++;
     relays_.emplace_back();
@@ -110,7 +110,7 @@ void ChaosProxy::relay_connection(Socket client, u64 conn_id) {
   try {
     upstream = server::connect_to(upstream_host_, upstream_port_);
   } catch (const ServerError&) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++stats_.upstream_failures;
     return;  // client sees an immediate close — as if the worker vanished
   }
@@ -149,12 +149,12 @@ ChaosProxy::Forward ChaosProxy::forward_frame(Socket& src, Socket& dst,
 
   // At most one fault per frame, drawn in severity order.
   if (policy_.kill > 0.0 && rng.chance(policy_.kill)) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++stats_.killed;
     return Forward::kClosed;
   }
   if (policy_.drop > 0.0 && rng.chance(policy_.drop)) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++stats_.dropped;
     return Forward::kSwallowed;
   }
@@ -164,20 +164,22 @@ ChaosProxy::Forward ChaosProxy::forward_frame(Socket& src, Socket& dst,
     dst.send_all(prefix, sizeof(prefix));
     if (len > 1) dst.send_all(payload.data(), len / 2);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       ++stats_.truncated;
     }
     return Forward::kClosed;
   }
   if (len > 0 && policy_.corrupt > 0.0 && rng.chance(policy_.corrupt)) {
     payload[rng.next_below(len)] ^= 0xFF;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++stats_.corrupted;
   } else if (policy_.delay > 0.0 && rng.chance(policy_.delay)) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       ++stats_.delayed;
     }
+    // The delay fault IS a sleep — that is the injected behaviour.
+    // aeep-lint: allow(sleep-in-src)
     std::this_thread::sleep_for(std::chrono::milliseconds(policy_.delay_ms));
   }
 
@@ -185,7 +187,7 @@ ChaosProxy::Forward ChaosProxy::forward_frame(Socket& src, Socket& dst,
   // counter must already reflect it (a stats() racing the last reply in a
   // test would otherwise briefly under-count).
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++stats_.frames_forwarded;
   }
   dst.send_all(prefix, sizeof(prefix));

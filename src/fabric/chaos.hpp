@@ -19,11 +19,12 @@
 #include <atomic>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "server/socket.hpp"
 
@@ -101,10 +102,10 @@ class ChaosProxy {
   std::atomic<bool> closing_{false};
   std::atomic<bool> started_{false};
 
-  mutable std::mutex mutex_;  ///< stats_ + relays_
-  ChaosStats stats_{};
-  std::list<Relay> relays_;
-  u64 next_conn_id_ = 1;
+  mutable aeep::Mutex mutex_;  ///< stats_ + relays_
+  ChaosStats stats_ AEEP_GUARDED_BY(mutex_){};
+  std::list<Relay> relays_ AEEP_GUARDED_BY(mutex_);
+  u64 next_conn_id_ AEEP_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace aeep::fabric

@@ -37,12 +37,12 @@ Coordinator::Coordinator(FabricConfig config)
 }
 
 FabricStats Coordinator::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return stats_;
 }
 
 void Coordinator::reset_stats() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   stats_ = FabricStats{};
 }
 
@@ -51,7 +51,7 @@ std::size_t Coordinator::probe_fleet() {
     if (registry_.retired(i)) continue;
     const WorkerEndpoint ep = registry_.endpoint(i);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       ++stats_.probes;
     }
     try {
@@ -67,7 +67,7 @@ std::size_t Coordinator::probe_fleet() {
       registry_.note_success(i);
     } catch (const server::ServerError& e) {
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         ++stats_.probe_failures;
       }
       registry_.note_failure(
@@ -93,7 +93,7 @@ std::vector<FabricOutcome> Coordinator::run(
   rs.cells.resize(grid.size());
   rs.progress = progress;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (std::size_t i = 0; i < grid.size(); ++i) {
       rs.cells[i].queued = true;
       rs.pending.push_back(i);
@@ -110,17 +110,20 @@ std::vector<FabricOutcome> Coordinator::run(
 
   // Monitor loop: watch for completion, nominate stragglers for
   // speculative re-dispatch, and absorb pending work locally once the
-  // fleet has degraded below the floor.
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    while (rs.completed < grid.size()) {
-      cv_main_.wait_for(lock, std::chrono::milliseconds(200));
+  // fleet has degraded below the floor. The lock is scoped per iteration
+  // because speculate_stragglers/run_locally take it themselves.
+  while (true) {
+    {
+      const MutexLock lock(mutex_);
       if (rs.completed >= grid.size()) break;
-      lock.unlock();
-      speculate_stragglers(rs);
-      if (fleet_degraded()) run_locally(rs);
-      lock.lock();
+      cv_main_.wait_for(mutex_, std::chrono::milliseconds(200));
+      if (rs.completed >= grid.size()) break;
     }
+    speculate_stragglers(rs);
+    if (fleet_degraded()) run_locally(rs);
+  }
+  {
+    const MutexLock lock(mutex_);
     rs.finished = true;
   }
   cv_work_.notify_all();
@@ -131,7 +134,7 @@ std::vector<FabricOutcome> Coordinator::run(
 std::vector<std::size_t> Coordinator::claim_batch(RunState& rs) {
   std::vector<std::size_t> batch;
   const auto now = Clock::now();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   while (!rs.pending.empty() && batch.size() < config_.batch_size) {
     const std::size_t idx = rs.pending.front();
     rs.pending.pop_front();
@@ -148,32 +151,33 @@ std::vector<std::size_t> Coordinator::claim_batch(RunState& rs) {
 
 bool Coordinator::deliver(RunState& rs, std::size_t index,
                           FabricOutcome outcome) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  Cell& c = rs.cells[index];
-  if (c.inflight > 0) --c.inflight;
-  if (c.done) {
-    // First result won; this duplicate computed identical metrics (same
-    // seed, same options), so discarding it cannot change the output.
-    ++stats_.duplicates_discarded;
-    return false;
+  {
+    const MutexLock lock(mutex_);
+    Cell& c = rs.cells[index];
+    if (c.inflight > 0) --c.inflight;
+    if (c.done) {
+      // First result won; this duplicate computed identical metrics (same
+      // seed, same options), so discarding it cannot change the output.
+      ++stats_.duplicates_discarded;
+      return false;
+    }
+    c.done = true;
+    outcome.attempts = c.attempts;
+    outcome.speculative = c.speculated;
+    if (outcome.ok()) {
+      if (outcome.worker == "local") ++stats_.jobs_local;
+      else ++stats_.jobs_remote;
+    }
+    rs.completion_ms.push_back(ms_since(c.dispatched_at));
+    (*rs.out)[index] = std::move(outcome);
+    ++rs.completed;
+    if (rs.progress) {
+      FabricProgress p{rs.completed, rs.grid->size(), index,
+                       &(*rs.grid)[index], &(*rs.out)[index]};
+      rs.progress(p);  // under the lock: serialised, completion order
+    }
+    if (rs.completed == rs.grid->size()) rs.finished = true;
   }
-  c.done = true;
-  outcome.attempts = c.attempts;
-  outcome.speculative = c.speculated;
-  if (outcome.ok()) {
-    if (outcome.worker == "local") ++stats_.jobs_local;
-    else ++stats_.jobs_remote;
-  }
-  rs.completion_ms.push_back(ms_since(c.dispatched_at));
-  (*rs.out)[index] = std::move(outcome);
-  ++rs.completed;
-  if (rs.progress) {
-    FabricProgress p{rs.completed, rs.grid->size(), index,
-                     &(*rs.grid)[index], &(*rs.out)[index]};
-    rs.progress(p);  // under the lock: serialised, completion order
-  }
-  if (rs.completed == rs.grid->size()) rs.finished = true;
-  lock.unlock();
   cv_main_.notify_all();
   cv_work_.notify_all();
   return true;
@@ -183,7 +187,7 @@ void Coordinator::requeue(RunState& rs, std::size_t index,
                           const std::string& error, bool charge_attempt) {
   bool out_of_attempts = false;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     Cell& c = rs.cells[index];
     if (c.done || c.queued) {  // finished elsewhere / already waiting
       if (c.inflight > 0) --c.inflight;
@@ -215,7 +219,7 @@ void Coordinator::requeue(RunState& rs, std::size_t index,
 void Coordinator::speculate_stragglers(RunState& rs) {
   bool nominated = false;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     if (rs.completion_ms.size() < 3) return;  // no meaningful median yet
     std::vector<double> sorted = rs.completion_ms;
     const std::size_t mid = sorted.size() / 2;
@@ -242,7 +246,7 @@ void Coordinator::speculate_stragglers(RunState& rs) {
 void Coordinator::run_locally(RunState& rs) {
   std::vector<std::size_t> indices;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto now = Clock::now();
     while (!rs.pending.empty()) {
       const std::size_t idx = rs.pending.front();
@@ -290,9 +294,8 @@ void Coordinator::worker_loop(std::size_t worker_idx, RunState& rs) {
 
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_work_.wait(lock,
-                    [&] { return rs.finished || !rs.pending.empty(); });
+      const MutexLock lock(mutex_);
+      while (!rs.finished && rs.pending.empty()) cv_work_.wait(mutex_);
       if (rs.finished) return;
     }
     if (registry_.retired(worker_idx)) return;
@@ -306,7 +309,7 @@ void Coordinator::worker_loop(std::size_t worker_idx, RunState& rs) {
       if (it != outstanding.end()) outstanding.erase(it);
     };
     const auto run_finished = [&] {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       return rs.finished;
     };
 
@@ -318,7 +321,7 @@ void Coordinator::worker_loop(std::size_t worker_idx, RunState& rs) {
       server::Client client(ep.host, ep.port);
       client.set_call_timeout_ms(static_cast<int>(config_.call_timeout_ms));
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         ++stats_.dispatches;
       }
 
@@ -334,7 +337,7 @@ void Coordinator::worker_loop(std::size_t worker_idx, RunState& rs) {
         } catch (const server::ServerError& e) {
           if (e.kind() != server::ServerErrorKind::kBusy) throw;
           {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const MutexLock lock(mutex_);
             ++stats_.busy_backoffs;
           }
           saw_busy = true;
@@ -426,7 +429,7 @@ void Coordinator::worker_loop(std::size_t worker_idx, RunState& rs) {
 
     if (worker_failed) {
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         ++stats_.worker_failures;
       }
       if (registry_.note_failure(worker_idx, failure)) return;  // retired

@@ -26,17 +26,17 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "fabric/backoff.hpp"
 #include "fabric/registry.hpp"
 #include "sim/sweep.hpp"
@@ -154,10 +154,13 @@ class Coordinator {
   FabricConfig config_;
   WorkerRegistry registry_;
 
-  mutable std::mutex mutex_;            ///< cells/pending/stats
-  std::condition_variable cv_work_;     ///< pending gained work / finished
-  std::condition_variable cv_main_;     ///< a cell completed
-  FabricStats stats_{};
+  /// Guards stats_ plus the per-run RunState (cells/pending/completed/
+  /// finished) threaded through the private helpers — RunState is a local
+  /// in run(), so its members cannot carry AEEP_GUARDED_BY themselves.
+  mutable aeep::Mutex mutex_;
+  aeep::CondVar cv_work_;  ///< pending gained work / finished
+  aeep::CondVar cv_main_;  ///< a cell completed
+  FabricStats stats_ AEEP_GUARDED_BY(mutex_){};
 };
 
 }  // namespace aeep::fabric

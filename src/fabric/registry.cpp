@@ -44,31 +44,36 @@ WorkerRegistry::WorkerRegistry(std::vector<WorkerEndpoint> workers,
   for (auto& ep : workers) workers_.push_back(Entry{std::move(ep), {}, 0});
 }
 
+std::size_t WorkerRegistry::size() const {
+  const MutexLock lock(mutex_);
+  return workers_.size();
+}
+
 std::size_t WorkerRegistry::live() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const auto& e : workers_)
     if (e.state != WorkerState::kRetired) ++n;
   return n;
 }
 
-const WorkerEndpoint& WorkerRegistry::endpoint(std::size_t idx) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+WorkerEndpoint WorkerRegistry::endpoint(std::size_t idx) const {
+  const MutexLock lock(mutex_);
   return workers_.at(idx).endpoint;
 }
 
 WorkerState WorkerRegistry::state(std::size_t idx) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return workers_.at(idx).state;
 }
 
 unsigned WorkerRegistry::consecutive_failures(std::size_t idx) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return workers_.at(idx).consecutive_failures;
 }
 
 void WorkerRegistry::note_success(std::size_t idx) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Entry& e = workers_.at(idx);
   if (e.state == WorkerState::kRetired) return;
   e.consecutive_failures = 0;
@@ -76,7 +81,7 @@ void WorkerRegistry::note_success(std::size_t idx) {
 }
 
 bool WorkerRegistry::note_failure(std::size_t idx, const std::string& reason) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Entry& e = workers_.at(idx);
   if (e.state == WorkerState::kRetired) return false;
   ++e.consecutive_failures;
@@ -89,7 +94,7 @@ bool WorkerRegistry::note_failure(std::size_t idx, const std::string& reason) {
 }
 
 void WorkerRegistry::retire(std::size_t idx, const std::string& reason) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Entry& e = workers_.at(idx);
   if (e.state == WorkerState::kRetired) return;
   retire_locked(e, reason);
@@ -112,7 +117,7 @@ double WorkerRegistry::ms_since_epoch_locked() const {
 }
 
 std::vector<RetirementRecord> WorkerRegistry::retirement_log() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return log_;
 }
 

@@ -10,10 +10,11 @@
 
 #include <chrono>
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace aeep::fabric {
@@ -58,12 +59,14 @@ class WorkerRegistry {
   /// retire (every failure still marks the worker suspect).
   WorkerRegistry(std::vector<WorkerEndpoint> workers, unsigned retire_after);
 
-  std::size_t size() const { return workers_.size(); }
+  std::size_t size() const AEEP_EXCLUDES(mutex_);
 
   /// Workers not (yet) retired — the fleet the coordinator can still use.
-  std::size_t live() const;
+  std::size_t live() const AEEP_EXCLUDES(mutex_);
 
-  const WorkerEndpoint& endpoint(std::size_t idx) const;
+  /// By value: a reference into the registry would escape the lock and
+  /// race note_failure/retire mutating the entry on another thread.
+  WorkerEndpoint endpoint(std::size_t idx) const AEEP_EXCLUDES(mutex_);
   WorkerState state(std::size_t idx) const;
   bool retired(std::size_t idx) const {
     return state(idx) == WorkerState::kRetired;
@@ -90,13 +93,14 @@ class WorkerRegistry {
     unsigned consecutive_failures = 0;
   };
 
-  void retire_locked(Entry& e, const std::string& reason);
-  double ms_since_epoch_locked() const;
+  void retire_locked(Entry& e, const std::string& reason)
+      AEEP_REQUIRES(mutex_);
+  double ms_since_epoch_locked() const AEEP_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<Entry> workers_;
+  mutable aeep::Mutex mutex_;
+  std::vector<Entry> workers_ AEEP_GUARDED_BY(mutex_);
   unsigned retire_after_;
-  std::vector<RetirementRecord> log_;
+  std::vector<RetirementRecord> log_ AEEP_GUARDED_BY(mutex_);
   std::chrono::steady_clock::time_point epoch_;
 };
 

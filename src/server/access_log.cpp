@@ -1,7 +1,6 @@
 #include "server/access_log.hpp"
 
 #include <cerrno>
-#include <cstring>
 
 #include "server/error.hpp"
 
@@ -10,7 +9,8 @@ namespace aeep::server {
 AccessLog::~AccessLog() { close(); }
 
 void AccessLog::open(const std::string& path, u64 max_bytes) {
-  close();
+  const MutexLock lock(mutex_);
+  close_locked();
   if (path == "-") {
     out_ = stderr;
     owns_ = false;
@@ -20,7 +20,7 @@ void AccessLog::open(const std::string& path, u64 max_bytes) {
     if (!out_)
       throw ServerError(ServerErrorKind::kIo,
                         "cannot open access log '" + path +
-                            "': " + std::strerror(errno));
+                            "': " + errno_message(errno));
     owns_ = true;
     path_ = path;
     max_bytes_ = max_bytes;
@@ -37,6 +37,11 @@ void AccessLog::open(const std::string& path, u64 max_bytes) {
 }
 
 void AccessLog::close() {
+  const MutexLock lock(mutex_);
+  close_locked();
+}
+
+void AccessLog::close_locked() {
   if (out_ && owns_) std::fclose(out_);
   out_ = nullptr;
   owns_ = false;
@@ -45,8 +50,13 @@ void AccessLog::close() {
   written_ = 0;
 }
 
+bool AccessLog::enabled() const {
+  const MutexLock lock(mutex_);
+  return out_ != nullptr;
+}
+
 u64 AccessLog::rotated() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return rotations_;
 }
 
@@ -69,13 +79,14 @@ void AccessLog::rotate_locked() {
 }
 
 void AccessLog::write(const std::string& event, JsonValue fields) {
+  // out_ is checked under the lock only: the old unlocked early-return
+  // raced close()/rotate_locked() clearing the stream on another thread.
+  const MutexLock lock(mutex_);
   if (!out_) return;
   JsonValue entry = JsonValue::object();
   entry.set("event", JsonValue::string(event));
   for (const auto& [key, value] : fields.members())
     entry.set(key, value);
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (!out_) return;  // a failed rotation may have lost the stream
   const auto t_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                         std::chrono::steady_clock::now() - epoch_)
                         .count();
@@ -85,7 +96,7 @@ void AccessLog::write(const std::string& event, JsonValue fields) {
   if (owns_ && max_bytes_ != 0 && written_ + line.size() > max_bytes_ &&
       written_ > 0)
     rotate_locked();
-  if (!out_) return;
+  if (!out_) return;  // a failed rotation may have lost the stream
   std::fputs(line.c_str(), out_);
   std::fflush(out_);
   written_ += line.size();

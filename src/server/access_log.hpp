@@ -12,10 +12,11 @@
 
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 #include <string>
 
 #include "common/json.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace aeep::server {
@@ -33,34 +34,37 @@ class AccessLog {
   /// log unconditionally and the config decides. `max_bytes` bounds the
   /// file via rotation to `path.1`; 0 = unbounded. Rotation never applies
   /// to stderr.
-  void open(const std::string& path, u64 max_bytes = 0);
-  void close();
+  void open(const std::string& path, u64 max_bytes = 0)
+      AEEP_EXCLUDES(mutex_);
+  void close() AEEP_EXCLUDES(mutex_);
 
-  bool enabled() const { return out_ != nullptr; }
+  bool enabled() const AEEP_EXCLUDES(mutex_);
 
   /// Completed rotations since open().
-  u64 rotated() const;
+  u64 rotated() const AEEP_EXCLUDES(mutex_);
 
   /// Append one entry. `event` lands first, then the caller's fields,
   /// then "seq" and "t_ms" — one dump(0) line, flushed immediately so a
   /// SIGTERM'd server leaves a complete log behind.
-  void write(const std::string& event, JsonValue fields);
+  void write(const std::string& event, JsonValue fields)
+      AEEP_EXCLUDES(mutex_);
 
  private:
-  /// path_ -> path_.1 and reopen. Caller holds mutex_. Best-effort: a
-  /// failed rotation keeps appending to the old file rather than losing
-  /// log lines.
-  void rotate_locked();
+  /// path_ -> path_.1 and reopen. Best-effort: a failed rotation keeps
+  /// appending to the old file rather than losing log lines.
+  void rotate_locked() AEEP_REQUIRES(mutex_);
+  void close_locked() AEEP_REQUIRES(mutex_);
 
-  std::FILE* out_ = nullptr;
-  bool owns_ = false;  ///< false for "-" (stderr)
-  std::string path_;
-  u64 max_bytes_ = 0;
-  u64 written_ = 0;  ///< bytes appended to the current file since open
-  u64 rotations_ = 0;
-  mutable std::mutex mutex_;
-  u64 seq_ = 0;
-  std::chrono::steady_clock::time_point epoch_{};
+  mutable aeep::Mutex mutex_;
+  std::FILE* out_ AEEP_GUARDED_BY(mutex_) = nullptr;
+  bool owns_ AEEP_GUARDED_BY(mutex_) = false;  ///< false for "-" (stderr)
+  std::string path_ AEEP_GUARDED_BY(mutex_);
+  u64 max_bytes_ AEEP_GUARDED_BY(mutex_) = 0;
+  /// bytes appended to the current file since open
+  u64 written_ AEEP_GUARDED_BY(mutex_) = 0;
+  u64 rotations_ AEEP_GUARDED_BY(mutex_) = 0;
+  u64 seq_ AEEP_GUARDED_BY(mutex_) = 0;
+  std::chrono::steady_clock::time_point epoch_ AEEP_GUARDED_BY(mutex_){};
 };
 
 }  // namespace aeep::server

@@ -9,8 +9,16 @@
 
 #include <stdexcept>
 #include <string>
+#include <system_error>
 
 namespace aeep::server {
+
+/// Render `err` (an errno value) as text. std::strerror is not
+/// thread-safe (clang-tidy concurrency-mt-unsafe); std::error_code routes
+/// through the locale-free generic category instead.
+inline std::string errno_message(int err) {
+  return std::error_code(err, std::generic_category()).message();
+}
 
 enum class ServerErrorKind {
   kIo,          ///< socket open/read/write failed at the OS level

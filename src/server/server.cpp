@@ -72,7 +72,7 @@ void JobServer::request_drain() {
   {
     // Taking the lock pairs the flag flip with the cv so the dispatcher
     // cannot check-then-sleep across it.
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
   }
   cv_dispatch_.notify_all();
   log_.write("drain_begin", JsonValue::object());
@@ -84,7 +84,7 @@ u64 JobServer::drain() {
   if (dispatch_thread_.joinable()) dispatch_thread_.join();
   u64 completed = 0;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     completed = stats_.completed;
     JsonValue f = JsonValue::object();
     f.set("completed", JsonValue::number(stats_.completed));
@@ -101,7 +101,7 @@ void JobServer::stop() {
   draining_.store(true);
   closing_.store(true);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     // Anything still queued will never run; fail it loudly rather than
     // leaving a waiting client to time out.
     for (const u64 id : queue_) {
@@ -124,12 +124,12 @@ void JobServer::stop() {
     // each thread's `entry` reference stays valid until its join.
     std::list<Connection> doomed;
     {
-      const std::lock_guard<std::mutex> lock(conn_mutex_);
+      const MutexLock lock(conn_mutex_);
       doomed.splice(doomed.begin(), connections_);
     }
     for (auto& conn : doomed)
       if (conn.thread.joinable()) conn.thread.join();
-    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    const MutexLock lock(conn_mutex_);
     active_connections_ = 0;
   }
   if (listener_) listener_->close();
@@ -139,7 +139,7 @@ void JobServer::stop() {
 }
 
 ServerStats JobServer::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ServerStats s = stats_;
   s.queued = queue_.size();
   s.running = running_count_;
@@ -147,56 +147,57 @@ ServerStats JobServer::stats() const {
 }
 
 void JobServer::reset_stats() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   stats_ = ServerStats{};
 }
 
 // --- dispatcher ------------------------------------------------------------
 
 void JobServer::dispatch_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    cv_dispatch_.wait(lock, [&] {
-      return closing_.load() || draining_.load() || !queue_.empty();
-    });
-    if (closing_.load()) break;
-    if (queue_.empty()) {
-      if (draining_.load()) break;  // drained dry: dispatcher's work is done
-      continue;
-    }
-
     std::vector<sim::SweepJob> grid;
     std::vector<u64> ids;
-    const auto now = Clock::now();
-    while (!queue_.empty() && ids.size() < config_.max_batch) {
-      const u64 id = queue_.front();
-      queue_.erase(queue_.begin());
-      const auto it = jobs_.find(id);
-      if (it == jobs_.end()) continue;
-      Job& job = it->second;
-      if (job.has_deadline && now > job.deadline) {
-        finish_job_locked(job, JobState::kTimeout, ServerErrorKind::kTimeout,
-                          "deadline expired while queued");
+    {
+      const MutexLock lock(mutex_);
+      while (!closing_.load() && !draining_.load() && queue_.empty())
+        cv_dispatch_.wait(mutex_);
+      if (closing_.load()) return;
+      if (queue_.empty()) {
+        if (draining_.load()) return;  // drained dry: dispatcher is done
         continue;
       }
-      job.state = JobState::kRunning;
-      ++running_count_;
-      sim::SweepJob sj;
-      sj.benchmark = job.spec.benchmark;
-      sj.options = job.options;
-      sj.tag = std::to_string(id);
-      grid.push_back(std::move(sj));
-      ids.push_back(id);
-    }
-    if (ids.empty()) continue;
-    ++stats_.batches;
 
-    lock.unlock();
-    // Each job completes from the progress callback the moment it
-    // finishes — a fast trace replay's client is answered while a slow
-    // exec job in the same batch still runs.
+      const auto now = Clock::now();
+      while (!queue_.empty() && ids.size() < config_.max_batch) {
+        const u64 id = queue_.front();
+        queue_.erase(queue_.begin());
+        const auto it = jobs_.find(id);
+        if (it == jobs_.end()) continue;
+        Job& job = it->second;
+        if (job.has_deadline && now > job.deadline) {
+          finish_job_locked(job, JobState::kTimeout,
+                            ServerErrorKind::kTimeout,
+                            "deadline expired while queued");
+          continue;
+        }
+        job.state = JobState::kRunning;
+        ++running_count_;
+        sim::SweepJob sj;
+        sj.benchmark = job.spec.benchmark;
+        sj.options = job.options;
+        sj.tag = std::to_string(id);
+        grid.push_back(std::move(sj));
+        ids.push_back(id);
+      }
+      if (ids.empty()) continue;
+      ++stats_.batches;
+    }
+
+    // Run the batch unlocked. Each job completes from the progress
+    // callback the moment it finishes — a fast trace replay's client is
+    // answered while a slow exec job in the same batch still runs.
     runner_->run(grid, [&](const sim::SweepProgress& p) {
-      const std::lock_guard<std::mutex> g(mutex_);
+      const MutexLock g(mutex_);
       const auto it = jobs_.find(ids[p.job_index]);
       if (it == jobs_.end()) return;
       Job& job = it->second;
@@ -212,7 +213,6 @@ void JobServer::dispatch_loop() {
                           "");
       }
     });
-    lock.lock();
   }
 }
 
@@ -267,7 +267,7 @@ void JobServer::accept_loop() {
 
     // Reap handler threads that have finished since the last pass.
     {
-      const std::lock_guard<std::mutex> lock(conn_mutex_);
+      const MutexLock lock(conn_mutex_);
       for (auto it = connections_.begin(); it != connections_.end();) {
         if (it->done.load()) {
           it->thread.join();
@@ -282,7 +282,7 @@ void JobServer::accept_loop() {
     u64 conn_id = 0;
     bool reject = false;
     {
-      const std::lock_guard<std::mutex> lock(conn_mutex_);
+      const MutexLock lock(conn_mutex_);
       if (active_connections_ >= config_.max_connections) reject = true;
       else {
         ++active_connections_;
@@ -291,7 +291,7 @@ void JobServer::accept_loop() {
     }
     if (reject) {
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         ++stats_.connections_rejected;
       }
       try {
@@ -306,17 +306,17 @@ void JobServer::accept_loop() {
     }
 
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       ++stats_.connections_accepted;
     }
-    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    const MutexLock lock(conn_mutex_);
     connections_.emplace_back();
     Connection& entry = connections_.back();
     entry.thread = std::thread(
         [this, &entry, conn_id, peer, s = std::move(*sock)]() mutable {
           handle_connection(std::move(s), conn_id, peer);
           {
-            const std::lock_guard<std::mutex> g(conn_mutex_);
+            const MutexLock g(conn_mutex_);
             if (active_connections_ > 0) --active_connections_;
           }
           entry.done.store(true);  // last: the reaper may now join us
@@ -374,7 +374,7 @@ void JobServer::handle_connection(Socket sock, u64 conn_id,
 JsonValue JobServer::handle_request(const JsonValue& req, u64 conn_id) {
   (void)conn_id;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++stats_.requests;
   }
   const std::string type = req.get_string("type", "");
@@ -409,7 +409,7 @@ u64 JobServer::submit_job(const JsonValue& req) {
   if (spec.frontend == sim::Frontend::kTrace)
     options.trace_path = registry_.path_of(spec.trace_name());
 
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (draining_.load()) {
     ++stats_.shutdown_rejected;
     throw ServerError(ServerErrorKind::kShutdown,
@@ -447,7 +447,7 @@ JsonValue JobServer::handle_submit(const JsonValue& req) {
   JsonValue r = ok_reply("submitted");
   r.set("job_id", JsonValue::number(id));
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     r.set("queue_depth", JsonValue::number(u64{queue_.size()}));
   }
   return r;
@@ -455,7 +455,7 @@ JsonValue JobServer::handle_submit(const JsonValue& req) {
 
 JsonValue JobServer::handle_status(const JsonValue& req) {
   const u64 id = req.get_u64("job_id", 0);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end())
     throw ServerError(ServerErrorKind::kNotFound,
@@ -502,14 +502,14 @@ JsonValue JobServer::result_reply_locked(const Job& job) const {
 }
 
 bool JobServer::wait_for_job(u64 id, u64 wait_ms) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto deadline = Clock::now() + std::chrono::milliseconds(wait_ms);
   while (true) {
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) return true;  // evicted — as terminal as it gets
     if (is_terminal(it->second.state)) return true;
     if (closing_.load()) return false;
-    if (cv_done_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (cv_done_.wait_until(mutex_, deadline) == std::cv_status::timeout) {
       const auto again = jobs_.find(id);
       return again == jobs_.end() || is_terminal(again->second.state);
     }
@@ -520,7 +520,7 @@ JsonValue JobServer::handle_result(const JsonValue& req) {
   const u64 id = req.get_u64("job_id", 0);
   if (req.get_bool("wait", false))
     wait_for_job(id, req.get_u64("wait_ms", 60'000));
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end())
     throw ServerError(ServerErrorKind::kNotFound,
@@ -533,7 +533,7 @@ JsonValue JobServer::handle_run(const JsonValue& req) {
   const u64 id = submit_job(req);
   u64 budget_ms = 600'000;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto it = jobs_.find(id);
     if (it != jobs_.end() && it->second.has_deadline) {
       const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -545,7 +545,7 @@ JsonValue JobServer::handle_run(const JsonValue& req) {
   if (!wait_for_job(id, budget_ms))
     throw ServerError(ServerErrorKind::kShutdown,
                       "server closed before the job finished");
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end())
     throw ServerError(ServerErrorKind::kInternal,
@@ -583,7 +583,7 @@ JsonValue JobServer::handle_health() const {
   // this before dispatch, so it must answer fast even under load.
   JsonValue r = ok_reply("health");
   r.set("draining", JsonValue::boolean(draining_.load()));
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   r.set("queued", JsonValue::number(u64{queue_.size()}));
   r.set("running", JsonValue::number(u64{running_count_}));
   r.set("queue_capacity", JsonValue::number(u64{config_.queue_capacity}));

@@ -23,16 +23,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "server/access_log.hpp"
 #include "server/registry.hpp"
 #include "server/socket.hpp"
@@ -153,11 +153,11 @@ class JobServer {
   /// elapses. Returns true when terminal.
   bool wait_for_job(u64 id, u64 wait_ms);
 
-  /// Reply for a terminal (or not) job. Caller holds mutex_.
-  JsonValue result_reply_locked(const Job& job) const;
+  /// Reply for a terminal (or not) job.
+  JsonValue result_reply_locked(const Job& job) const AEEP_REQUIRES(mutex_);
   void finish_job_locked(Job& job, JobState state, ServerErrorKind kind,
-                         const std::string& error);
-  void enforce_retention_locked();
+                         const std::string& error) AEEP_REQUIRES(mutex_);
+  void enforce_retention_locked() AEEP_REQUIRES(mutex_);
 
   ServerConfig config_;
   TraceRegistry registry_;
@@ -165,15 +165,17 @@ class JobServer {
   std::unique_ptr<Listener> listener_;
   std::unique_ptr<sim::SweepRunner> runner_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_dispatch_;  ///< queue gained work / draining
-  std::condition_variable cv_done_;      ///< some job reached terminal state
-  std::map<u64, Job> jobs_;
-  std::vector<u64> queue_;               ///< FIFO of queued job ids
-  std::vector<u64> finished_order_;      ///< retention ring, oldest first
-  u64 next_job_id_ = 1;
-  std::size_t running_count_ = 0;
-  ServerStats stats_{};
+  mutable aeep::Mutex mutex_;
+  aeep::CondVar cv_dispatch_;  ///< queue gained work / draining
+  aeep::CondVar cv_done_;      ///< some job reached terminal state
+  std::map<u64, Job> jobs_ AEEP_GUARDED_BY(mutex_);
+  /// FIFO of queued job ids
+  std::vector<u64> queue_ AEEP_GUARDED_BY(mutex_);
+  /// retention ring, oldest first
+  std::vector<u64> finished_order_ AEEP_GUARDED_BY(mutex_);
+  u64 next_job_id_ AEEP_GUARDED_BY(mutex_) = 1;
+  std::size_t running_count_ AEEP_GUARDED_BY(mutex_) = 0;
+  ServerStats stats_ AEEP_GUARDED_BY(mutex_){};
 
   std::atomic<bool> draining_{false};  ///< no new submits
   std::atomic<bool> closing_{false};   ///< connections wind down
@@ -181,10 +183,10 @@ class JobServer {
 
   std::thread accept_thread_;
   std::thread dispatch_thread_;
-  std::mutex conn_mutex_;
-  std::list<Connection> connections_;
-  std::size_t active_connections_ = 0;  ///< guarded by conn_mutex_
-  u64 next_conn_id_ = 1;
+  aeep::Mutex conn_mutex_;
+  std::list<Connection> connections_ AEEP_GUARDED_BY(conn_mutex_);
+  std::size_t active_connections_ AEEP_GUARDED_BY(conn_mutex_) = 0;
+  u64 next_conn_id_ AEEP_GUARDED_BY(conn_mutex_) = 1;
   std::chrono::steady_clock::time_point started_at_{};
 };
 

@@ -17,8 +17,7 @@ namespace aeep::server {
 namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
-  throw ServerError(ServerErrorKind::kIo,
-                    what + ": " + std::strerror(errno));
+  throw ServerError(ServerErrorKind::kIo, what + ": " + errno_message(errno));
 }
 
 sockaddr_in make_addr(const std::string& host, u16 port) {

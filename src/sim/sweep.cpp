@@ -5,9 +5,11 @@
 #include <cstdio>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace aeep::sim {
 
@@ -17,11 +19,16 @@ namespace {
 /// front; thieves steal from the back, so an owner keeps the cache-warm
 /// (recently dealt) indices and thieves take the coldest work.
 struct WorkerQueue {
-  std::deque<std::size_t> jobs;
-  std::mutex mutex;
+  Mutex mutex;
+  std::deque<std::size_t> jobs AEEP_GUARDED_BY(mutex);
+
+  void push(std::size_t idx) {
+    const MutexLock lock(mutex);
+    jobs.push_back(idx);
+  }
 
   bool pop_front(std::size_t& idx) {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     if (jobs.empty()) return false;
     idx = jobs.front();
     jobs.pop_front();
@@ -29,7 +36,7 @@ struct WorkerQueue {
   }
 
   bool steal_back(std::size_t& idx) {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     if (jobs.empty()) return false;
     idx = jobs.back();
     jobs.pop_back();
@@ -78,12 +85,12 @@ std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepJob>& grid,
   // deques + stealing absorb the (large) per-job runtime variance.
   std::vector<WorkerQueue> queues(workers);
   for (std::size_t i = 0; i < grid.size(); ++i)
-    queues[i % workers].jobs.push_back(i);
+    queues[i % workers].push(i);
 
-  std::mutex progress_mutex;
+  Mutex progress_mutex;
   std::size_t completed = 0;
   auto report = [&](std::size_t idx) {
-    const std::lock_guard<std::mutex> lock(progress_mutex);
+    const MutexLock lock(progress_mutex);
     ++completed;
     if (progress) {
       SweepProgress p{completed, grid.size(), idx, &grid[idx], &out[idx]};

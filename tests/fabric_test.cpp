@@ -396,6 +396,41 @@ TEST(AccessLog, RotatesAtTheSizeBoundAndKeepsOneGeneration) {
   std::remove((path + ".1").c_str());
 }
 
+TEST(AccessLog, ConcurrentWritersWithRotationAreRaceFree) {
+  // Regression for a TSan-visible race: write() used to early-return on an
+  // *unlocked* read of the stream pointer, racing rotate_locked()/close()
+  // clearing it on another thread. A tiny rotation bound keeps rotations
+  // (and thus writes to the pointer) constant while four writers hammer
+  // reads of it; run under -DAEEP_SANITIZE=thread this test fails loudly
+  // if the unlocked check ever comes back.
+  const std::string path = testing::TempDir() + "aeep_fabric_race.log";
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+  server::AccessLog log;
+  log.open(path, 256);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&log, w] {
+      for (int i = 0; i < 200; ++i) {
+        JsonValue f = JsonValue::object();
+        f.set("w", JsonValue::number(u64(static_cast<unsigned>(w))));
+        f.set("i", JsonValue::number(u64(static_cast<unsigned>(i))));
+        log.write("tick", std::move(f));
+      }
+    });
+  }
+  // Concurrent readers of the rotation counter (stats path).
+  std::thread reader([&log] {
+    for (int i = 0; i < 400; ++i) (void)log.rotated();
+  });
+  for (auto& t : writers) t.join();
+  reader.join();
+  EXPECT_GT(log.rotated(), 0u);
+  log.close();
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+}
+
 TEST(AccessLog, ServerStatsExposeTheRotationCounter) {
   const std::string path =
       testing::TempDir() + "aeep_fabric_served_access.log";

@@ -1,96 +1,34 @@
 #!/usr/bin/env bash
-# Repo-specific lint gate (runs in CI; no compiler needed).
+# Repo lint gate: thin wrapper around the token-aware aeep_lint binary
+# (src/analysis/). The old grep rules lived here; they now run as real
+# lexer-backed rules that cannot fire on comments or string literals, plus
+# the concurrency rules (mutex-guard, thread-detach, naked-new-delete,
+# sleep-in-src). Run `aeep_lint --list-rules` for the catalog; suppress a
+# deliberate hit with `// aeep-lint: allow(<rule>)` on or above the line.
 #
-# Four rules, each born from a real bug class in this codebase:
+# Exit codes (same contract the grep version had): 0 clean, 1 findings.
+# A broken build is an error, not a pass — exits non-zero loudly.
 #
-#  1. No raw rand()/srand(): all stochastic behaviour must flow from the
-#     seeded Xorshift64Star so every run is exactly reproducible.
-#  2. No unchecked `).value()` on optionals: dereference with a checked
-#     pattern (`if (auto v = ...)`) instead. The stats-registry Counter
-#     accessor (`reg.counter("...").value()`) is explicitly exempt — it
-#     returns a plain integer, not an optional.
-#  3. Every header that declares a `struct ...Stats` must also declare a
-#     reset path (`reset_stats` / `reset_metrics`, or expose a non-const
-#     `...Stats& stats()` accessor) so warm-up resets cannot silently skip
-#     it. This is the rule that would have caught the Scrubber stats
-#     surviving reset_metrics.
-#  4. Under src/ecc/, functions named exactly `encode`/`decode` must not
-#     return std::vector: the line-codec hot path is allocation-free by
-#     contract (callers bring scratch buffers). Allocating conveniences are
-#     fine but must be named *_alloc so the cost is visible at call sites.
-#  5. No raw fread/fwrite outside src/trace/: binary file I/O must go
-#     through trace::FileReader/FileWriter (trace/io.hpp), which turn short
-#     reads/writes into typed TraceErrors instead of silently-ignored return
-#     values. Tests are exempt — they deliberately craft truncated/corrupt
-#     files to exercise those error paths.
-#  6. No raw socket()/send()/recv() outside src/server/: network I/O must
-#     go through server::Socket/Listener (server/socket.hpp), which retry
-#     short transfers and EINTR and turn failures into typed ServerErrors —
-#     the networking twin of Rule 5.
+# AEEP_LINT_BUILD_DIR selects where the binary is built/found
+# (default: <repo>/build). An existing binary there is reused; otherwise a
+# minimal configure+build of just the aeep_lint target runs first.
 set -u
 cd "$(dirname "$0")/.."
 
-SOURCES=(src tools tests bench examples)
-CXX_GLOBS=(--include='*.cpp' --include='*.hpp')
-fail=0
+BUILD_DIR="${AEEP_LINT_BUILD_DIR:-build}"
+LINT_BIN="$BUILD_DIR/tools/aeep_lint"
 
-report() {
-  echo "lint: $1"
-  shift
-  printf '%s\n' "$@" | sed 's/^/  /'
-  fail=1
-}
-
-# --- Rule 1: raw C PRNG ----------------------------------------------------
-hits=$(grep -rnE '\b(s?rand)\(' "${SOURCES[@]}" "${CXX_GLOBS[@]}" || true)
-if [[ -n "$hits" ]]; then
-  report "raw rand()/srand() is banned; use a seeded Xorshift64Star" "$hits"
-fi
-
-# --- Rule 2: unchecked optional::value() -----------------------------------
-hits=$(grep -rnE '\)\.value\(\)' "${SOURCES[@]}" "${CXX_GLOBS[@]}" \
-         | grep -vE 'counter\(|gauge\(' || true)
-if [[ -n "$hits" ]]; then
-  report "unchecked ).value() is banned; test the optional first" "$hits"
-fi
-
-# --- Rule 3: stats structs need a reset path -------------------------------
-while IFS= read -r header; do
-  if ! grep -qE 'reset_stats|reset_metrics|^[[:space:]]*[A-Za-z_]*Stats& stats\(\)' \
-       "$header"; then
-    report "stats struct without a reset path (warm-up would leak into it)" \
-           "$header: declares a ...Stats struct but neither reset_stats()," \
-           "reset_metrics() nor a non-const ...Stats& stats() accessor"
+if [[ ! -x "$LINT_BIN" ]]; then
+  if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+    cmake -B "$BUILD_DIR" -S . >/dev/null || {
+      echo "lint: cmake configure failed" >&2
+      exit 2
+    }
   fi
-done < <(grep -rlE 'struct [A-Za-z_]*Stats\b' src --include='*.hpp')
-
-# --- Rule 4: no allocating encode/decode in the ECC hot path ---------------
-hits=$(grep -rnE 'std::vector<[^>]+>[[:space:]]+[A-Za-z_:]*(encode|decode)[[:space:]]*\(' \
-         src/ecc "${CXX_GLOBS[@]}" || true)
-if [[ -n "$hits" ]]; then
-  report "std::vector-returning encode()/decode() is banned under src/ecc/;
-use the span scratch-buffer API, or name the convenience *_alloc" "$hits"
+  cmake --build "$BUILD_DIR" --target aeep_lint -j >/dev/null || {
+    echo "lint: building aeep_lint failed" >&2
+    exit 2
+  }
 fi
 
-# --- Rule 5: raw fread/fwrite outside the trace I/O helpers ----------------
-hits=$(grep -rnE '\bstd::f(read|write)\(|(^|[^:_[:alnum:]])f(read|write)\(' \
-         src tools bench examples "${CXX_GLOBS[@]}" \
-         | grep -v '^src/trace/io\.' || true)
-if [[ -n "$hits" ]]; then
-  report "raw fread()/fwrite() outside src/trace/io is banned;
-use trace::FileReader/FileWriter so short I/O raises a typed error" "$hits"
-fi
-
-# --- Rule 6: raw sockets outside the server I/O helpers --------------------
-hits=$(grep -rnE '(^|[^._[:alnum:]])(socket|send|recv|sendto|recvfrom)[[:space:]]*\(' \
-         src tools bench examples tests "${CXX_GLOBS[@]}" \
-         | grep -v '^src/server/socket\.' || true)
-if [[ -n "$hits" ]]; then
-  report "raw socket()/send()/recv() outside src/server/socket.* is banned;
-use server::Socket/Listener so short transfers raise a typed error" "$hits"
-fi
-
-if [[ $fail -eq 0 ]]; then
-  echo "lint: all rules pass"
-fi
-exit $fail
+exec "$LINT_BIN" --root=.
