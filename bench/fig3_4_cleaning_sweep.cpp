@@ -44,8 +44,9 @@ int main(int argc, char** argv) {
       grid.push_back({name, eo, bench::interval_label(eo.cleaning_interval)});
     }
   }
-  const std::vector<sim::RunResult> results =
-      sim::SweepRunner(jobs).run_or_throw(grid, sim::stderr_progress());
+  std::vector<double> cell_walls;
+  const std::vector<sim::RunResult> results = sim::SweepRunner(jobs).run_or_throw(
+      grid, sim::stderr_progress(), &cell_walls);
 
   std::vector<double> sums(cols, 0.0);
   for (std::size_t b = 0; b < benchmarks.size(); ++b) {
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
       sums[k] += r.avg_dirty_fraction;
       row.push_back(TextTable::pct(r.avg_dirty_fraction, 1));
       json.add_cell(benchmarks[b], grid[b * cols + k].tag,
-                    bench::run_result_metrics(r));
+                    bench::run_result_metrics(r), cell_walls[b * cols + k]);
     }
     table.add_row(std::move(row));
   }

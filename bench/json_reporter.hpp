@@ -6,16 +6,21 @@
 // pair. CI diffs the key structure of a fresh smoke run against the
 // committed BENCH_sweep.json to catch schema drift.
 //
-// Schema (version 1):
+// Schema (version 2):
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "experiment":     "<bench name>",
 //     "git_rev":        "<short rev or 'unknown'>",
 //     "jobs":           <worker count used>,
 //     "wall_clock_seconds": <double>,
 //     "config":         { instructions, warmup, seed, suite, ... },
-//     "cells": [ { "benchmark": ..., "tag": ..., "metrics": {...} }, ... ]
+//     "cells": [ { "benchmark": ..., "tag": ...,
+//                  "wall_clock_seconds": <double>, "metrics": {...} }, ... ]
 //   }
+// v2 adds the per-cell wall_clock_seconds: each cell's own compute time
+// (0.0 when the bench has no per-cell timing). Consumers comparing cells
+// for value identity across worker counts must strip it first — it is the
+// one field that legitimately differs between otherwise bit-exact runs.
 #pragma once
 
 #include <chrono>
@@ -59,7 +64,7 @@ class JsonReporter {
  public:
   JsonReporter(std::string experiment, const CommonOptions& o, unsigned jobs) {
     root_ = JsonValue::object();
-    root_.set("schema_version", JsonValue::number(u64{1}));
+    root_.set("schema_version", JsonValue::number(u64{2}));
     root_.set("experiment", JsonValue::string(std::move(experiment)));
     root_.set("git_rev", JsonValue::string(git_short_rev()));
     root_.set("jobs", JsonValue::number(u64{jobs}));
@@ -80,12 +85,14 @@ class JsonReporter {
     root_.find("config")->set(key, std::move(v));
   }
 
-  /// Record one result cell.
+  /// Record one result cell. `wall_seconds` is the cell's own compute time
+  /// (schema v2); benches without per-cell timing leave the 0.0 default.
   void add_cell(const std::string& benchmark, const std::string& tag,
-                JsonValue metrics) {
+                JsonValue metrics, double wall_seconds = 0.0) {
     JsonValue cell = JsonValue::object();
     cell.set("benchmark", JsonValue::string(benchmark));
     cell.set("tag", JsonValue::string(tag));
+    cell.set("wall_clock_seconds", JsonValue::number(wall_seconds));
     cell.set("metrics", std::move(metrics));
     root_.find("cells")->push(std::move(cell));
   }

@@ -6,7 +6,13 @@
 // the repo's executable proof of the "zero allocations per line
 // encode/decode" claim.
 //
-//   micro_codecs [--lines=65536] [--json=out.json]
+// Also times the batched SWAR whole-line paths against the word-at-a-time
+// virtual-dispatch baseline (the pre-batching LineCodec inner loop),
+// verifies they agree bit-for-bit, and — with --min-secded-speedup=X —
+// exits non-zero unless batched SECDED encode is at least X times faster
+// than word-at-a-time. CI pins X=2.
+//
+//   micro_codecs [--lines=65536] [--json=out.json] [--min-secded-speedup=X]
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -83,6 +89,8 @@ int main(int argc, char** argv) {
   const CliArgs args = parse_cli_or_exit(argc, argv);
   const bench::CommonOptions opt = bench::parse_common(args);
   const u64 lines = args.get_u64("lines", u64{1} << 16);
+  const double min_secded_speedup =
+      args.get_double("min-secded-speedup", 0.0);
   bench::reject_unknown_flags(args);
 
   std::printf("=== micro_codecs: line codec throughput ===\n");
@@ -110,6 +118,8 @@ int main(int argc, char** argv) {
 
   TextTable table({"codec", "op", "API", "words/s", "allocs/call"});
   bool scratch_allocated = false;
+  bool equivalence_broken = false;
+  double secded_speedup = 0.0;
 
   for (const auto& [name, codec] : codecs) {
     const ecc::LineCodec lc(*codec, kLineBytes);
@@ -140,6 +150,42 @@ int main(int argc, char** argv) {
                              return check[0];
                            }),
                      true});
+    // Batched SWAR line encode vs the word-at-a-time virtual-dispatch
+    // baseline (what LineCodec::encode did before batching). Same input
+    // mutation schedule, so the words/s figures are directly comparable.
+    std::vector<u64> scalar_check(kWords);
+    const Measurement scalar_m = timed(lines, kWords, [&](u64 i) {
+      data[i % kWords] ^= i | 1;
+      for (unsigned w = 0; w < kWords; ++w)
+        scalar_check[w] = codec->encode(data[w]);
+      return scalar_check[0];
+    });
+    cases.push_back({"encode", "scalar-words", scalar_m, false});
+    const Measurement batched_m = timed(lines, kWords, [&](u64 i) {
+      data[i % kWords] ^= i | 1;
+      codec->encode_batch(data, check);
+      return check[0];
+    });
+    cases.push_back({"encode", "batched", batched_m, true});
+    if (std::string(name) == "secded" && scalar_m.words_per_sec > 0.0)
+      secded_speedup = batched_m.words_per_sec / scalar_m.words_per_sec;
+
+    // The two paths must agree bit-for-bit on the final mutated line (and
+    // the batched mismatch scan must see the agreement as all-clean).
+    codec->encode_batch(data, check);
+    for (unsigned w = 0; w < kWords; ++w) {
+      if (check[w] != codec->encode(data[w])) {
+        std::fprintf(stderr,
+                     "%s: batched encode diverges from scalar at word %u\n",
+                     name, w);
+        equivalence_broken = true;
+      }
+    }
+    if (codec->mismatch_mask(data, check) != 0) {
+      std::fprintf(stderr, "%s: mismatch_mask flags a clean line\n", name);
+      equivalence_broken = true;
+    }
+
     // Re-sync the stored check words with the mutated payload so the decode
     // loops run the clean path (the hot case in the simulator).
     lc.encode(line.data, line.check);
@@ -169,6 +215,22 @@ int main(int argc, char** argv) {
   std::printf("%s", table.render().c_str());
   std::printf("\nscratch-API allocations per encode/decode: %s\n",
               scratch_allocated ? "NONZERO (regression!)" : "zero");
+  std::printf("batched vs scalar equivalence: %s\n",
+              equivalence_broken ? "BROKEN (regression!)" : "bit-exact");
+  std::printf("secded batched/scalar encode speedup: %.2fx", secded_speedup);
+  if (min_secded_speedup > 0.0)
+    std::printf(" (gate: >=%.2fx)", min_secded_speedup);
+  std::printf("\n");
+  json.set_config("secded_batched_speedup",
+                  JsonValue::number(secded_speedup));
   if (!json.write(opt.json_path)) return 1;
+  if (equivalence_broken) return 1;
+  if (min_secded_speedup > 0.0 && secded_speedup < min_secded_speedup) {
+    std::fprintf(stderr,
+                 "secded batched encode speedup %.2fx is below the %.2fx "
+                 "gate\n",
+                 secded_speedup, min_secded_speedup);
+    return 1;
+  }
   return scratch_allocated ? 1 : 0;
 }

@@ -18,6 +18,7 @@ constexpr const char* kMutexGuard = "mutex-guard";
 constexpr const char* kThreadDetach = "thread-detach";
 constexpr const char* kNakedNew = "naked-new-delete";
 constexpr const char* kSleep = "sleep-in-src";
+constexpr const char* kHotQueue = "deque-in-hot-path";
 
 bool starts_with(const std::string& s, const std::string& prefix) {
   return s.rfind(prefix, 0) == 0;
@@ -368,6 +369,26 @@ void check_sleep(FileContext& ctx) {
   }
 }
 
+// --- rule: deque-in-hot-path -----------------------------------------------
+// std::deque / std::queue under src/sim and src/server: the sweep pool and
+// the job server dispatch on the lock-free aeep::MpmcQueue, and per-entry
+// state belongs in dense SoA arrays — a node-based queue there reintroduces
+// either a mutex-guarded hot path or pointer-chasing scans.
+void check_hot_queue(FileContext& ctx) {
+  const auto& code = ctx.code;
+  for (std::size_t i = 0; i + 3 < code.size(); ++i) {
+    if (!(is_ident(code[i], "std") && is_punct(code[i + 1], "::") &&
+          (is_ident(code[i + 2], "deque") || is_ident(code[i + 2], "queue")) &&
+          is_punct(code[i + 3], "<")))
+      continue;
+    ctx.report(kHotQueue, code[i + 2].line,
+               "std::" + code[i + 2].text +
+                   " in src/sim|src/server is banned; use aeep::MpmcQueue "
+                   "for work hand-off or a dense SoA ring for per-entry "
+                   "state (deliberate: aeep-lint: allow(deque-in-hot-path))");
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rule_catalog() {
@@ -389,6 +410,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {kThreadDetach, "no std::thread::detach(); join on shutdown"},
       {kNakedNew, "no naked new/delete in src/ outside free-list code"},
       {kSleep, "no sleep_for/sleep_until in src/; wait on a condvar"},
+      {kHotQueue,
+       "no std::deque/std::queue under src/sim|src/server; use MpmcQueue "
+       "or a dense SoA ring"},
   };
   return catalog;
 }
@@ -419,6 +443,8 @@ std::vector<Finding> lint_file(const std::string& path,
   check_thread_detach(ctx);
   if (in_src) check_naked_new(ctx);
   if (in_src) check_sleep(ctx);
+  if (starts_with(path, "src/sim/") || starts_with(path, "src/server/"))
+    check_hot_queue(ctx);
 
   return findings;
 }

@@ -1,5 +1,6 @@
 #include "cache/write_buffer.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/bitops.hpp"
@@ -7,20 +8,26 @@
 namespace aeep::cache {
 
 WriteBuffer::WriteBuffer(unsigned entries, unsigned line_bytes)
-    : capacity_(entries), line_bytes_(line_bytes) {
+    : capacity_(entries),
+      line_bytes_(line_bytes),
+      lines_(entries, 0),
+      masks_(entries, 0),
+      stamps_(entries, 0),
+      words_(static_cast<std::size_t>(entries) * (line_bytes / 8), 0) {
   assert(entries > 0);
   assert(is_pow2(line_bytes) && line_bytes >= 8);
 }
 
-WriteBuffer::PushResult WriteBuffer::push(Addr addr, u64 value) {
+WriteBuffer::PushResult WriteBuffer::push(Addr addr, u64 value, Cycle now) {
   const Addr line = line_of(addr);
   const unsigned word = static_cast<unsigned>((addr - line) / 8);
-  // Fully associative search; 16 entries, so a linear scan matches the
-  // hardware CAM and is cheap.
-  for (auto& e : fifo_) {
-    if (e.line == line) {
-      e.word_mask |= u64{1} << word;
-      e.words[word] = value;
+  // Fully associative search, matching the hardware CAM: a linear scan of
+  // the dense tag column (the masks/words columns are only touched on hit).
+  for (std::size_t i = 0; i < count_; ++i) {
+    const std::size_t s = slot_of(i);
+    if (lines_[s] == line) {
+      masks_[s] |= u64{1} << word;
+      words_[s * words_per_line() + word] = value;
       ++stats_.stores;
       ++stats_.coalesced;
       return PushResult::kCoalesced;
@@ -30,28 +37,48 @@ WriteBuffer::PushResult WriteBuffer::push(Addr addr, u64 value) {
     ++stats_.full_events;
     return PushResult::kFull;
   }
-  WriteBufferEntry e;
-  e.line = line;
-  e.word_mask = u64{1} << word;
-  if (!free_words_.empty()) {
-    e.words = std::move(free_words_.back());
-    free_words_.pop_back();
-  }
-  e.words.assign(line_bytes_ / 8, 0);
-  e.words[word] = value;
-  fifo_.push_back(std::move(e));
+  const std::size_t s = slot_of(count_);
+  lines_[s] = line;
+  masks_[s] = u64{1} << word;
+  stamps_[s] = now;
+  u64* w = words_.data() + s * words_per_line();
+  std::fill_n(w, words_per_line(), u64{0});
+  w[word] = value;
+  ++count_;
   ++stats_.stores;
   return PushResult::kNew;
 }
 
-const WriteBufferEntry* WriteBuffer::front() const {
-  return fifo_.empty() ? nullptr : &fifo_.front();
+WriteBufferView WriteBuffer::view(std::size_t i) const {
+  assert(i < count_);
+  const std::size_t s = slot_of(i);
+  WriteBufferView v;
+  v.line = lines_[s];
+  v.word_mask = masks_[s];
+  v.words = {words_.data() + s * words_per_line(), words_per_line()};
+  v.stamp = stamps_[s];
+  return v;
+}
+
+Cycle WriteBuffer::front_stamp() const {
+  assert(count_ > 0);
+  return stamps_[head_];
 }
 
 WriteBufferEntry WriteBuffer::pop() {
-  assert(!fifo_.empty());
-  WriteBufferEntry e = std::move(fifo_.front());
-  fifo_.pop_front();
+  assert(count_ > 0);
+  const std::size_t s = head_;
+  WriteBufferEntry e;
+  e.line = lines_[s];
+  e.word_mask = masks_[s];
+  if (!free_words_.empty()) {
+    e.words = std::move(free_words_.back());
+    free_words_.pop_back();
+  }
+  const u64* w = words_.data() + s * words_per_line();
+  e.words.assign(w, w + words_per_line());
+  head_ = slot_of(1);
+  --count_;
   ++stats_.drains;
   return e;
 }
@@ -61,7 +88,7 @@ void WriteBuffer::recycle(WriteBufferEntry&& e) {
   // kFreeListBound overall; anything beyond that could only accumulate if
   // callers recycle entries they never popped.
   if (free_words_.size() < free_list_bound() &&
-      e.words.capacity() >= line_bytes_ / 8) {
+      e.words.capacity() >= words_per_line()) {
     free_words_.push_back(std::move(e.words));
     if (free_words_.size() > stats_.free_list_peak)
       stats_.free_list_peak = free_words_.size();
@@ -69,7 +96,8 @@ void WriteBuffer::recycle(WriteBufferEntry&& e) {
 }
 
 void WriteBuffer::reset() {
-  fifo_.clear();
+  head_ = 0;
+  count_ = 0;
   stats_ = {};
 }
 

@@ -7,20 +7,38 @@
 // words and a valid mask so the drain applies exactly the stored bytes.
 // Timing (when entries drain, full-buffer stalls) is owned by the memory
 // hierarchy controller; this class is the logical CAM + FIFO.
+//
+// Storage is struct-of-arrays: line tags, word masks, and enqueue stamps
+// live in dense parallel arrays over a fixed ring of `capacity` slots, and
+// the line payloads sit in one flat `capacity * words_per_line` block. The
+// CAM lookup in push() therefore walks a contiguous 8-byte-stride tag array
+// instead of pointer-chasing a deque of entry structs, and the hierarchy's
+// age check reads the stamp column without a parallel side queue.
 #pragma once
 
-#include <deque>
-#include <optional>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
 
 namespace aeep::cache {
 
+/// Materialised entry, handed out by pop() for the drain path. The words
+/// vector is recyclable via recycle() so steady-state drains stay
+/// allocation-free.
 struct WriteBufferEntry {
   Addr line = 0;            ///< line base address (L2 line granularity)
   u64 word_mask = 0;        ///< bit w set: words[w] holds store data
   std::vector<u64> words;   ///< line_bytes/8 slots
+};
+
+/// Zero-copy read-only view of a buffered entry (valid until the next
+/// mutating call on the buffer).
+struct WriteBufferView {
+  Addr line = 0;
+  u64 word_mask = 0;
+  std::span<const u64> words;
+  Cycle stamp = 0;  ///< cycle the entry was created (for age-based drains)
 };
 
 struct WriteBufferStats {
@@ -44,27 +62,33 @@ class WriteBuffer {
 
   enum class PushResult { kNew, kCoalesced, kFull };
 
-  /// Present a store of `value` to (8-byte-aligned) `addr`.
-  PushResult push(Addr addr, u64 value);
+  /// Present a store of `value` to (8-byte-aligned) `addr`. `now` stamps a
+  /// freshly created entry (coalescing keeps the original stamp, matching
+  /// the drain-on-age policy which watches the oldest store of the line).
+  PushResult push(Addr addr, u64 value, Cycle now = 0);
 
-  /// Oldest entry (does not remove).
-  const WriteBufferEntry* front() const;
+  /// Oldest entry, without removing it. Buffer must be non-empty.
+  WriteBufferView front() const { return view(0); }
 
-  /// All buffered entries, oldest first (read-only; used by the invariant
-  /// auditor to check CAM consistency).
-  const std::deque<WriteBufferEntry>& entries() const { return fifo_; }
+  /// The i-th oldest entry (i < size()); used by the invariant auditor to
+  /// check CAM consistency.
+  WriteBufferView view(std::size_t i) const;
 
-  /// Remove the oldest entry after draining it to L2.
+  /// Enqueue cycle of the oldest entry. Buffer must be non-empty.
+  Cycle front_stamp() const;
+
+  /// Remove the oldest entry after draining it to L2. The returned entry's
+  /// words vector comes from the recycle pool when one is available.
   WriteBufferEntry pop();
 
   /// Return a drained entry's storage for reuse. Steady state then runs
-  /// with zero heap allocations: push() takes a recycled words vector when
+  /// with zero heap allocations: pop() takes a recycled words vector when
   /// one is available instead of allocating a fresh one.
   void recycle(WriteBufferEntry&& e);
 
-  bool full() const { return fifo_.size() >= capacity_; }
-  bool empty() const { return fifo_.empty(); }
-  std::size_t size() const { return fifo_.size(); }
+  bool full() const { return count_ >= capacity_; }
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
   unsigned capacity() const { return capacity_; }
   unsigned line_bytes() const { return line_bytes_; }
 
@@ -84,11 +108,23 @@ class WriteBuffer {
 
  private:
   Addr line_of(Addr a) const { return a & ~static_cast<Addr>(line_bytes_ - 1); }
+  unsigned words_per_line() const { return line_bytes_ / 8; }
+  /// Ring slot of the i-th oldest entry.
+  std::size_t slot_of(std::size_t i) const {
+    const std::size_t s = head_ + i;
+    return s >= capacity_ ? s - capacity_ : s;
+  }
 
   unsigned capacity_;
   unsigned line_bytes_;
-  std::deque<WriteBufferEntry> fifo_;  ///< oldest first
-  std::vector<std::vector<u64>> free_words_;  ///< recycled entry storage
+  std::size_t head_ = 0;   ///< ring slot of the oldest entry
+  std::size_t count_ = 0;  ///< live entries
+  // Struct-of-arrays columns, indexed by ring slot.
+  std::vector<Addr> lines_;    ///< line tags (the CAM)
+  std::vector<u64> masks_;     ///< per-entry valid-word masks
+  std::vector<Cycle> stamps_;  ///< per-entry enqueue cycles
+  std::vector<u64> words_;     ///< flat payload, capacity * words_per_line
+  std::vector<std::vector<u64>> free_words_;  ///< recycled pop() storage
   WriteBufferStats stats_;
 };
 

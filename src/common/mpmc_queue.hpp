@@ -1,0 +1,140 @@
+// Bounded lock-free multi-producer multi-consumer ring queue.
+//
+// Dmitry Vyukov's bounded MPMC design: a power-of-two ring of cells, each
+// carrying its own sequence counter. A producer claims a slot by CAS on the
+// tail ticket, then publishes the value with a release store of seq =
+// ticket+1; a consumer claims with CAS on the head ticket and releases the
+// slot back to producers one lap later (seq = ticket+capacity). Push/pop
+// never take a lock and never allocate, so contended hot paths (the sweep
+// worker pool, the server dispatch queue) scale instead of convoying on a
+// mutex. Progress guarantee is lock-free, not wait-free: a CAS loser
+// retries against the refreshed ticket.
+//
+// Semantics:
+//  - try_push/try_pop are non-blocking; they return false on full/empty
+//    instead of waiting. Callers that need to sleep pair the queue with
+//    their own condvar (see server.cpp) or spin (see sweep.cpp, where the
+//    queue is pre-seeded and only drains).
+//  - FIFO per producer; total order across producers is the ticket order.
+//  - T must be default-constructible and movable. Values are moved in and
+//    out; a popped-from cell holds a moved-from T until overwritten.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/bitops.hpp"
+
+namespace aeep {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// `capacity` must be a power of two (the ring index is `ticket & mask`;
+  /// a modulo would put a divide on the hot path) and at least 2: with one
+  /// cell, a pop's slot release (seq = pos + capacity) is the same value as
+  /// a push's publish (seq = pos + 1), so "occupied" and "free next lap"
+  /// become indistinguishable and the ring mis-admits then livelocks.
+  /// Throws std::invalid_argument otherwise.
+  explicit MpmcQueue(std::size_t capacity)
+      : mask_(capacity - 1),
+        cells_(std::make_unique<Cell[]>(check_capacity(capacity))) {
+    for (std::size_t i = 0; i < capacity; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Non-blocking enqueue; false if the ring is full.
+  bool try_push(T value) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        // Slot is free this lap; race other producers for the ticket.
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // slot still holds last lap's value: queue full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);  // lost a race; refresh
+      }
+    }
+  }
+
+  /// Non-blocking dequeue; false if the ring is empty.
+  bool try_pop(T& out) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          out = std::move(cell.value);
+          // Hand the slot back to producers, one full lap ahead.
+          cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // producer hasn't published this ticket yet: empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Instantaneous occupancy estimate (tickets issued minus consumed).
+  /// Exact only when no push/pop is in flight; use for stats, never for
+  /// correctness decisions.
+  std::size_t approx_size() const {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+  bool approx_empty() const { return approx_size() == 0; }
+
+ private:
+  // One cache line per hot atomic so producers and consumers don't false-
+  // share; cells stay packed (adjacent tickets touch adjacent cells anyway).
+  static constexpr std::size_t kCacheLine = 64;
+
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  static std::size_t check_capacity(std::size_t capacity) {
+    if (capacity < 2 || !is_pow2(capacity)) {
+      throw std::invalid_argument(
+          "MpmcQueue capacity must be a power of two >= 2, got " +
+          std::to_string(capacity));
+    }
+    return capacity;
+  }
+
+  const std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  ///< producer ticket
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  ///< consumer ticket
+};
+
+}  // namespace aeep

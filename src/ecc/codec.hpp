@@ -7,6 +7,8 @@
 // reports what it can conclude.
 #pragma once
 
+#include <cassert>
+#include <span>
 #include <string>
 
 #include "common/types.hpp"
@@ -51,6 +53,51 @@ class WordCodec {
 
   /// Validate (and possibly correct) a stored word.
   virtual DecodeResult decode(u64 data, u64 check) const = 0;
+
+  /// Mask selecting the live check bits (the low check_bits() bits).
+  u64 check_mask() const {
+    const unsigned b = check_bits();
+    return b >= 64 ? ~u64{0} : (u64{1} << b) - 1;
+  }
+
+  // --- Batched hot path ---------------------------------------------------
+  // Whole-line entry points. The defaults below loop the scalar hooks, so
+  // every codec is correct for free; the production codecs override them
+  // with SWAR implementations that hoist constants, drop the per-word
+  // virtual dispatch, and expose independent popcount/fold chains to the
+  // CPU. Batched and scalar results are bit-identical by contract
+  // (equivalence-tested in ecc_test).
+
+  /// check_out[w] = encode(data[w]) for every word.
+  virtual void encode_batch(std::span<const u64> data,
+                            std::span<u64> check_out) const {
+    assert(check_out.size() >= data.size());
+    for (std::size_t w = 0; w < data.size(); ++w)
+      check_out[w] = encode(data[w]);
+  }
+
+  /// Like encode_batch, but only for words with bit w set in `word_mask`;
+  /// other check_out entries are left untouched (silent-write elision).
+  virtual void encode_batch_masked(std::span<const u64> data, u64 word_mask,
+                                   std::span<u64> check_out) const {
+    assert(data.size() <= 64 && check_out.size() >= data.size());
+    for (std::size_t w = 0; w < data.size(); ++w)
+      if (word_mask & (u64{1} << w)) check_out[w] = encode(data[w]);
+  }
+
+  /// Bit w set iff stored check[w] disagrees with re-encoding data[w] —
+  /// i.e. exactly the words a decode would flag. The clean-line fast path:
+  /// a zero mask means every word is kOk and the scalar decoder (syndrome
+  /// walk, branches) can be skipped entirely.
+  virtual u64 mismatch_mask(std::span<const u64> data,
+                            std::span<const u64> check) const {
+    assert(data.size() <= 64 && check.size() >= data.size());
+    const u64 live = check_mask();
+    u64 mm = 0;
+    for (std::size_t w = 0; w < data.size(); ++w)
+      if (encode(data[w]) != (check[w] & live)) mm |= u64{1} << w;
+    return mm;
+  }
 };
 
 }  // namespace aeep::ecc

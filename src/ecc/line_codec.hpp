@@ -56,12 +56,23 @@ class LineCodec {
   // --- Scratch-buffer hot path (no heap allocation) -----------------------
 
   /// Compute check words for `data` into caller-owned `check_out`. Both
-  /// spans must hold words_per_line() words.
+  /// spans must hold words_per_line() words. Routed through the codec's
+  /// batched (SWAR) implementation; bit-identical to per-word encode().
   void encode(std::span<const u64> data, std::span<u64> check_out) const;
+
+  /// Recompute check words only for the words set in `dirty_mask` (bit w =
+  /// word w); the other check_out entries are left untouched. This is the
+  /// silent-write-elision entry point: the write buffer's dirty mask says
+  /// which words actually changed, so clean words keep their (still valid)
+  /// stored codes and cost nothing.
+  void encode_dirty(std::span<const u64> data, u64 dirty_mask,
+                    std::span<u64> check_out) const;
 
   /// Validate a stored line, writing the corrected payload into
   /// caller-owned `data_out` (may alias `data` for in-place repair). All
-  /// spans must hold words_per_line() words.
+  /// spans must hold words_per_line() words. Fast path: a batched
+  /// mismatch scan clears clean lines without ever entering the scalar
+  /// syndrome decoder; only flagged words take the slow path.
   LineDecodeSummary decode(std::span<const u64> data,
                            std::span<const u64> check,
                            std::span<u64> data_out) const;

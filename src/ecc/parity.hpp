@@ -18,6 +18,13 @@ class ParityCodec final : public WordCodec {
   u64 encode(u64 data) const override;
   DecodeResult decode(u64 data, u64 check) const override;
 
+  // Batched overrides: one POPCNT per word with the odd/even flip hoisted
+  // out of the loop.
+  void encode_batch(std::span<const u64> data,
+                    std::span<u64> check_out) const override;
+  u64 mismatch_mask(std::span<const u64> data,
+                    std::span<const u64> check) const override;
+
   bool odd() const { return odd_; }
 
  private:
@@ -34,6 +41,12 @@ class ByteParityCodec final : public WordCodec {
   bool corrects_single() const override { return false; }
   u64 encode(u64 data) const override;
   DecodeResult decode(u64 data, u64 check) const override;
+
+  // Batched overrides using the SWAR fold + multiply-pack (see parity.cpp).
+  void encode_batch(std::span<const u64> data,
+                    std::span<u64> check_out) const override;
+  u64 mismatch_mask(std::span<const u64> data,
+                    std::span<const u64> check) const override;
 };
 
 }  // namespace aeep::ecc

@@ -1,7 +1,10 @@
 #include "protect/non_uniform.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+
+#include "common/bitops.hpp"
 
 namespace aeep::protect {
 
@@ -15,17 +18,13 @@ NonUniformScheme::NonUniformScheme(cache::Cache& cache)
 void NonUniformScheme::encode_parity(u64 set, unsigned way, u64 word_mask) {
   const auto data = cache().data(set, way);
   u64* par = parity_.data() + line_slot(set, way) * words_;
-  for (unsigned w = 0; w < words_; ++w) {
-    if (word_mask & (u64{1} << w)) par[w] = parity_codec().encode(data[w]);
-  }
+  parity_codec().encode_batch_masked(data, word_mask, {par, words_});
 }
 
 void NonUniformScheme::encode_ecc(u64 set, unsigned way, u64 word_mask) {
   const auto data = cache().data(set, way);
   u64* check = ecc_.data() + line_slot(set, way) * words_;
-  for (unsigned w = 0; w < words_; ++w) {
-    if (word_mask & (u64{1} << w)) check[w] = secded().encode(data[w]);
-  }
+  secded().encode_batch_masked(data, word_mask, {check, words_});
 }
 
 void NonUniformScheme::on_fill(u64 set, unsigned way) {
@@ -66,7 +65,10 @@ ReadCheck NonUniformScheme::check_read(u64 set, unsigned way,
     // §3.3: "Otherwise, ECC is used for error detection and correction."
     assert(ecc_valid_[line_slot(set, way)]);
     u64* check = ecc_.data() + line_slot(set, way) * words_;
-    for (unsigned w = 0; w < words_; ++w) {
+    // Batched clean scan; only flagged words take the scalar decoder.
+    for (u64 mm = secded().mismatch_mask(data, {check, words_}); mm != 0;
+         mm &= mm - 1) {
+      const auto w = static_cast<unsigned>(std::countr_zero(mm));
       const ecc::DecodeResult r = secded().decode(data[w], check[w]);
       switch (r.status) {
         case ecc::DecodeStatus::kOk:
@@ -93,10 +95,8 @@ ReadCheck NonUniformScheme::check_read(u64 set, unsigned way,
 
   // Clean line: parity only; any detected error is repaired by re-fetch.
   const u64* par = parity_.data() + line_slot(set, way) * words_;
-  for (unsigned w = 0; w < words_; ++w) {
-    if (parity_codec().decode(data[w], par[w]).status != ecc::DecodeStatus::kOk)
-      ++out.words_detected;
-  }
+  out.words_detected =
+      popcount64(parity_codec().mismatch_mask(data, {par, words_}));
   if (out.words_detected > 0) {
     memory.read_line(cache().line_addr(set, way), data);
     encode_parity(set, way, ~u64{0});

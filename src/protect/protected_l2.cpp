@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/bitops.hpp"
 #include "protect/non_uniform.hpp"
 #include "protect/shared_ecc_array.hpp"
 #include "protect/uniform_ecc.hpp"
@@ -216,11 +217,36 @@ Cycle ProtectedL2::write(Cycle now, Addr addr, u64 word_mask,
     decay_[loc.set * config_.geometry.ways + loc.way] = 0;  // write resets age
 
   auto dst = cache_.data(loc.set, loc.way);
+  u64 changed_mask = 0;
   for (unsigned w = 0; w < dst.size(); ++w) {
-    if (word_mask & (u64{1} << w)) dst[w] = words[w];
+    if (word_mask & (u64{1} << w)) {
+      if (dst[w] != words[w]) {
+        dst[w] = words[w];
+        changed_mask |= u64{1} << w;
+      }
+    }
   }
-  if (config_.maintain_codes)
-    scheme_->on_write_applied(loc.set, loc.way, word_mask);
+  if (config_.maintain_codes) {
+    // Silent-write elision ("Using Silent Writes in Low-Power Traffic-Aware
+    // ECC"): a written word whose value did not change already carries
+    // valid check bits — encode() is a pure function of the data — so its
+    // re-encode can be skipped. Only safe when nothing else can have
+    // touched the stored bits since they were encoded: with on-access
+    // checking (the fault-injection configs) the rewrite must refresh the
+    // full mask, because re-encoding a struck word is part of the modeled
+    // behaviour. The scheme hook still runs with an empty mask so dirty-
+    // transition bookkeeping (e.g. non-uniform's full-line ECC on first
+    // write) stays exact.
+    u64 encode_mask = word_mask;
+    if (!config_.recovery.check_on_access) {
+      const u64 live = dst.size() >= 64
+                           ? word_mask
+                           : word_mask & ((u64{1} << dst.size()) - 1);
+      encode_mask = changed_mask;
+      silent_words_elided_ += popcount64(live) - popcount64(changed_mask);
+    }
+    scheme_->on_write_applied(loc.set, loc.way, encode_mask);
+  }
   note_dirty(now);
   if (audit_hook_) audit_hook_(now);
   return loc.ready;
@@ -314,6 +340,7 @@ void ProtectedL2::reset_metrics(Cycle now) {
   dirty_level_.reset(last_note_, static_cast<double>(noted_dirty_));
   peak_dirty_ = cache_.dirty_count();
   cleaning_inspections_ = 0;
+  silent_words_elided_ = 0;
   recovery_.reset_stats();
   scheme_->reset_metrics();
 }

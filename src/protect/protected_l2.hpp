@@ -112,6 +112,10 @@ class ProtectedL2 {
   /// Lines cleaned by the FSM that were re-dirtied later (premature-clean
   /// proxy, for the ablation benches).
   u64 cleaning_inspections() const { return cleaning_inspections_; }
+  /// Written words whose value did not change and whose check-bit re-encode
+  /// was therefore skipped (silent-write elision; only counted when the
+  /// elision is active, i.e. codes maintained and no on-access checking).
+  u64 silent_words_elided() const { return silent_words_elided_; }
 
   cache::Cache& cache_model() { return cache_; }
   const cache::Cache& cache_model() const { return cache_; }
@@ -176,6 +180,7 @@ class ProtectedL2 {
   u64 wb_[kNumWbCauses] = {0, 0, 0};
   u64 peak_dirty_ = 0;
   u64 cleaning_inspections_ = 0;
+  u64 silent_words_elided_ = 0;
   std::vector<u64> fill_buf_;
   std::vector<u8> decay_;  ///< per-line counters (kDecayCounter only)
   std::function<void(Cycle)> audit_hook_;

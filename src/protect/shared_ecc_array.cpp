@@ -1,6 +1,9 @@
 #include "protect/shared_ecc_array.hpp"
 
+#include <bit>
 #include <cassert>
+
+#include "common/bitops.hpp"
 
 namespace aeep::protect {
 
@@ -22,9 +25,7 @@ std::string SharedEccArrayScheme::name() const {
 void SharedEccArrayScheme::encode_parity(u64 set, unsigned way, u64 word_mask) {
   const auto data = cache().data(set, way);
   u64* par = parity_.data() + line_slot(set, way) * words_;
-  for (unsigned w = 0; w < words_; ++w) {
-    if (word_mask & (u64{1} << w)) par[w] = parity_codec().encode(data[w]);
-  }
+  parity_codec().encode_batch_masked(data, word_mask, {par, words_});
 }
 
 SharedEccArrayScheme::EccEntry* SharedEccArrayScheme::find_entry(u64 set,
@@ -89,7 +90,7 @@ void SharedEccArrayScheme::on_write_applied(u64 set, unsigned way,
   // Simpler and always safe: recompute all words whenever the mask does not
   // cover them all. (8 words; cost is negligible.)
   (void)word_mask;
-  for (unsigned w = 0; w < words_; ++w) check[w] = secded().encode(data[w]);
+  secded().encode_batch(data, {check, words_});
 }
 
 void SharedEccArrayScheme::on_writeback(u64 set, unsigned way) {
@@ -112,7 +113,10 @@ ReadCheck SharedEccArrayScheme::check_read(u64 set, unsigned way,
     const unsigned idx =
         static_cast<unsigned>(e - (entries_.data() + set * entries_per_set_));
     u64* check = entry_check(set, idx);
-    for (unsigned w = 0; w < words_; ++w) {
+    // Batched clean scan; only flagged words take the scalar decoder.
+    for (u64 mm = secded().mismatch_mask(data, {check, words_}); mm != 0;
+         mm &= mm - 1) {
+      const auto w = static_cast<unsigned>(std::countr_zero(mm));
       const ecc::DecodeResult r = secded().decode(data[w], check[w]);
       switch (r.status) {
         case ecc::DecodeStatus::kOk:
@@ -137,10 +141,8 @@ ReadCheck SharedEccArrayScheme::check_read(u64 set, unsigned way,
   }
 
   const u64* par = parity_.data() + line_slot(set, way) * words_;
-  for (unsigned w = 0; w < words_; ++w) {
-    if (parity_codec().decode(data[w], par[w]).status != ecc::DecodeStatus::kOk)
-      ++out.words_detected;
-  }
+  out.words_detected =
+      popcount64(parity_codec().mismatch_mask(data, {par, words_}));
   if (out.words_detected > 0) {
     memory.read_line(cache().line_addr(set, way), data);
     encode_parity(set, way, ~u64{0});

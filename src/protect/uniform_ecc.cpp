@@ -1,5 +1,9 @@
 #include "protect/uniform_ecc.hpp"
 
+#include <bit>
+
+#include "common/bitops.hpp"
+
 namespace aeep::protect {
 
 const char* to_string(ReadOutcome o) {
@@ -20,9 +24,7 @@ UniformEccScheme::UniformEccScheme(cache::Cache& cache)
 void UniformEccScheme::encode_words(u64 set, unsigned way, u64 word_mask) {
   const auto data = cache().data(set, way);
   u64* check = ecc_.data() + line_slot(set, way) * words_;
-  for (unsigned w = 0; w < words_; ++w) {
-    if (word_mask & (u64{1} << w)) check[w] = secded().encode(data[w]);
-  }
+  secded().encode_batch_masked(data, word_mask, {check, words_});
 }
 
 void UniformEccScheme::on_fill(u64 set, unsigned way) {
@@ -38,7 +40,12 @@ ReadCheck UniformEccScheme::check_read(u64 set, unsigned way,
   ReadCheck out;
   auto data = cache().data(set, way);
   u64* check = ecc_.data() + line_slot(set, way) * words_;
-  for (unsigned w = 0; w < words_; ++w) {
+  // Batched clean scan: only words whose stored check disagrees with a
+  // re-encode enter the scalar syndrome decoder (a clean word decodes to
+  // kOk, which the old per-word loop treated as a no-op anyway).
+  for (u64 mm = secded().mismatch_mask(data, {check, words_}); mm != 0;
+       mm &= mm - 1) {
+    const auto w = static_cast<unsigned>(std::countr_zero(mm));
     const ecc::DecodeResult r = secded().decode(data[w], check[w]);
     switch (r.status) {
       case ecc::DecodeStatus::kOk:

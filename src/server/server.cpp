@@ -1,8 +1,10 @@
 #include "server/server.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
+#include "common/bitops.hpp"
 #include "sim/result_json.hpp"
 
 namespace aeep::server {
@@ -38,6 +40,10 @@ JobServer::JobServer(ServerConfig config) : config_(std::move(config)) {
   if (config_.max_batch == 0) config_.max_batch = 1;
   if (config_.max_connections == 0) config_.max_connections = 1;
   if (config_.result_retention == 0) config_.result_retention = 1;
+  // The ring wants a power of two >= 2; queue_depth_ enforces the exact
+  // configured capacity on top, so over-sizing the ring costs nothing.
+  queue_ = std::make_unique<MpmcQueue<u64>>(static_cast<std::size_t>(
+      std::max<u64>(2, ceil_pow2(config_.queue_capacity))));
 }
 
 JobServer::~JobServer() { stop(); }
@@ -103,15 +109,23 @@ void JobServer::stop() {
   {
     const MutexLock lock(mutex_);
     // Anything still queued will never run; fail it loudly rather than
-    // leaving a waiting client to time out.
-    for (const u64 id : queue_) {
+    // leaving a waiting client to time out. Drain the ring, then sweep the
+    // job table for kQueued stragglers (a submit may have inserted its job
+    // but not yet published the id to the ring).
+    u64 id = 0;
+    while (queue_->try_pop(id)) {
       const auto it = jobs_.find(id);
       if (it != jobs_.end())
         finish_job_locked(it->second, JobState::kFailed,
                           ServerErrorKind::kShutdown,
                           "server shut down before the job ran");
     }
-    queue_.clear();
+    for (auto& [jid, job] : jobs_) {
+      if (job.state == JobState::kQueued)
+        finish_job_locked(job, JobState::kFailed, ServerErrorKind::kShutdown,
+                          "server shut down before the job ran");
+    }
+    queue_depth_.store(0);
   }
   cv_dispatch_.notify_all();
   cv_done_.notify_all();
@@ -141,7 +155,7 @@ void JobServer::stop() {
 ServerStats JobServer::stats() const {
   const MutexLock lock(mutex_);
   ServerStats s = stats_;
-  s.queued = queue_.size();
+  s.queued = queue_depth_.load();
   s.running = running_count_;
   return s;
 }
@@ -159,18 +173,15 @@ void JobServer::dispatch_loop() {
     std::vector<u64> ids;
     {
       const MutexLock lock(mutex_);
-      while (!closing_.load() && !draining_.load() && queue_.empty())
+      while (!closing_.load() && !draining_.load() &&
+             queue_depth_.load() == 0)
         cv_dispatch_.wait(mutex_);
       if (closing_.load()) return;
-      if (queue_.empty()) {
-        if (draining_.load()) return;  // drained dry: dispatcher is done
-        continue;
-      }
 
       const auto now = Clock::now();
-      while (!queue_.empty() && ids.size() < config_.max_batch) {
-        const u64 id = queue_.front();
-        queue_.erase(queue_.begin());
+      u64 id = 0;
+      while (ids.size() < config_.max_batch && queue_->try_pop(id)) {
+        queue_depth_.fetch_sub(1);
         const auto it = jobs_.find(id);
         if (it == jobs_.end()) continue;
         Job& job = it->second;
@@ -189,7 +200,14 @@ void JobServer::dispatch_loop() {
         grid.push_back(std::move(sj));
         ids.push_back(id);
       }
-      if (ids.empty()) continue;
+      if (ids.empty()) {
+        // Ring dry. depth > 0 means a submitter reserved a slot but hasn't
+        // published the id yet; loop (the wait predicate sees depth > 0 and
+        // falls straight through) until the push lands — a few atomics away.
+        if (draining_.load() && queue_depth_.load() == 0)
+          return;  // drained dry: dispatcher is done
+        continue;
+      }
       ++stats_.batches;
     }
 
@@ -409,35 +427,53 @@ u64 JobServer::submit_job(const JsonValue& req) {
   if (spec.frontend == sim::Frontend::kTrace)
     options.trace_path = registry_.path_of(spec.trace_name());
 
-  const MutexLock lock(mutex_);
-  if (draining_.load()) {
-    ++stats_.shutdown_rejected;
-    throw ServerError(ServerErrorKind::kShutdown,
-                      "server is draining; not accepting new jobs");
-  }
-  if (queue_.size() >= config_.queue_capacity) {
+  // Lock-free backpressure: reserve a queue slot on the atomic depth
+  // counter before touching any shared state. Losing submitters back out
+  // with kBusy without ever serialising on mutex_.
+  if (queue_depth_.fetch_add(1) >= config_.queue_capacity) {
+    queue_depth_.fetch_sub(1);
+    const MutexLock lock(mutex_);
     ++stats_.busy_rejected;
     throw ServerError(ServerErrorKind::kBusy,
                       "job queue is full (" +
                           std::to_string(config_.queue_capacity) +
                           " queued); retry later");
   }
-  const u64 id = next_job_id_++;
-  Job job;
-  job.id = id;
-  job.spec = std::move(spec);
-  job.options = std::move(options);
-  job.submitted_at = Clock::now();
-  const u64 timeout_ms =
-      job.spec.timeout_ms != 0 ? job.spec.timeout_ms
-                               : config_.default_timeout_ms;
-  if (timeout_ms != 0) {
-    job.has_deadline = true;
-    job.deadline = job.submitted_at + std::chrono::milliseconds(timeout_ms);
+  u64 id = 0;
+  {
+    const MutexLock lock(mutex_);
+    if (draining_.load()) {
+      queue_depth_.fetch_sub(1);
+      ++stats_.shutdown_rejected;
+      throw ServerError(ServerErrorKind::kShutdown,
+                        "server is draining; not accepting new jobs");
+    }
+    id = next_job_id_++;
+    Job job;
+    job.id = id;
+    job.spec = std::move(spec);
+    job.options = std::move(options);
+    job.submitted_at = Clock::now();
+    const u64 timeout_ms =
+        job.spec.timeout_ms != 0 ? job.spec.timeout_ms
+                                 : config_.default_timeout_ms;
+    if (timeout_ms != 0) {
+      job.has_deadline = true;
+      job.deadline = job.submitted_at + std::chrono::milliseconds(timeout_ms);
+    }
+    jobs_.emplace(id, std::move(job));
+    ++stats_.submitted;
   }
-  jobs_.emplace(id, std::move(job));
-  queue_.push_back(id);
-  ++stats_.submitted;
+  // Publish after the job table knows the id; the dispatcher tolerates the
+  // reserve->push window (see dispatch_loop). The reservation above
+  // guarantees the ring (capacity >= queue_capacity) has room.
+  if (!queue_->try_push(id))
+    throw std::logic_error("job ring refused a reserved slot");
+  {
+    // Pair the push with the cv so the dispatcher cannot check-then-sleep
+    // across it (same trick as request_drain).
+    const MutexLock lock(mutex_);
+  }
   cv_dispatch_.notify_one();
   return id;
 }
@@ -446,10 +482,7 @@ JsonValue JobServer::handle_submit(const JsonValue& req) {
   const u64 id = submit_job(req);
   JsonValue r = ok_reply("submitted");
   r.set("job_id", JsonValue::number(id));
-  {
-    const MutexLock lock(mutex_);
-    r.set("queue_depth", JsonValue::number(u64{queue_.size()}));
-  }
+  r.set("queue_depth", JsonValue::number(u64{queue_depth_.load()}));
   return r;
 }
 
@@ -466,11 +499,15 @@ JsonValue JobServer::handle_status(const JsonValue& req) {
   r.set("job_id", JsonValue::number(id));
   r.set("state", JsonValue::string(to_string(job.state)));
   if (job.state == JobState::kQueued) {
-    const auto pos = std::find(queue_.begin(), queue_.end(), id);
-    if (pos != queue_.end())
-      r.set("queue_position",
-            JsonValue::number(
-                static_cast<u64>(std::distance(queue_.begin(), pos))));
+    // Ids are handed out in FIFO order, so the position is the number of
+    // still-queued jobs submitted before this one. O(jobs) map walk, but
+    // status is a cold path and the ring has no stable iteration.
+    u64 ahead = 0;
+    for (const auto& [oid, other] : jobs_) {
+      if (oid >= id) break;
+      if (other.state == JobState::kQueued) ++ahead;
+    }
+    r.set("queue_position", JsonValue::number(ahead));
   }
   r.set("wall_ms", JsonValue::number(is_terminal(job.state)
                                          ? job.wall_ms
@@ -583,9 +620,11 @@ JsonValue JobServer::handle_health() const {
   // this before dispatch, so it must answer fast even under load.
   JsonValue r = ok_reply("health");
   r.set("draining", JsonValue::boolean(draining_.load()));
-  const MutexLock lock(mutex_);
-  r.set("queued", JsonValue::number(u64{queue_.size()}));
-  r.set("running", JsonValue::number(u64{running_count_}));
+  r.set("queued", JsonValue::number(u64{queue_depth_.load()}));
+  {
+    const MutexLock lock(mutex_);
+    r.set("running", JsonValue::number(u64{running_count_}));
+  }
   r.set("queue_capacity", JsonValue::number(u64{config_.queue_capacity}));
   return r;
 }

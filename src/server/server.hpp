@@ -7,9 +7,12 @@
 //    handler thread per connection, and bounces connections beyond
 //    max_connections with a kBusy frame before closing;
 //  - handler threads speak the request/reply protocol; a submit enqueues
-//    into a *bounded* queue — when full the client gets an explicit kBusy
-//    reply (backpressure, 429-style) instead of an ever-growing backlog;
-//  - one dispatcher thread drains the queue in batches of <= max_batch
+//    into a *bounded* lock-free MPMC ring (common/mpmc_queue.hpp) after
+//    reserving a slot on an atomic depth counter — when full the client
+//    gets an explicit kBusy reply (backpressure, 429-style) instead of an
+//    ever-growing backlog. The mutex guards only the cold job-table map;
+//    the enqueue itself never takes it;
+//  - one dispatcher thread drains the ring in batches of <= max_batch
 //    jobs through SweepRunner::run(), completing each job from the
 //    progress callback as it finishes (not at batch end).
 // Per-job wall-clock deadlines are enforced twice: a job still queued past
@@ -31,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/mpmc_queue.hpp"
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
 #include "server/access_log.hpp"
@@ -169,8 +173,13 @@ class JobServer {
   aeep::CondVar cv_dispatch_;  ///< queue gained work / draining
   aeep::CondVar cv_done_;      ///< some job reached terminal state
   std::map<u64, Job> jobs_ AEEP_GUARDED_BY(mutex_);
-  /// FIFO of queued job ids
-  std::vector<u64> queue_ AEEP_GUARDED_BY(mutex_);
+  /// FIFO of queued job ids. Lock-free: submits push and the dispatcher
+  /// pops without touching mutex_. Ring capacity is queue_capacity rounded
+  /// up to a power of two; the *exact* configured bound is enforced by
+  /// queue_depth_ (reserve-then-push), so a capacity-1 server still bounces
+  /// the second submit.
+  std::unique_ptr<MpmcQueue<u64>> queue_;
+  std::atomic<std::size_t> queue_depth_{0};
   /// retention ring, oldest first
   std::vector<u64> finished_order_ AEEP_GUARDED_BY(mutex_);
   u64 next_job_id_ AEEP_GUARDED_BY(mutex_) = 1;

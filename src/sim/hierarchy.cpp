@@ -69,12 +69,11 @@ bool MemoryHierarchy::store(Cycle now, Addr addr, u64 value) {
   // Write-through, write-no-allocate L1D: update in place on hit, never
   // dirty; all stores go to the write buffer. A store to a line already
   // buffered coalesces even when the buffer is full (CAM hit).
-  const auto res = wbuf_.push(addr, value);
+  const auto res = wbuf_.push(addr, value, now);
   if (res == cache::WriteBuffer::PushResult::kFull) {
     // Caller retries next cycle; tick() keeps draining meanwhile.
     return false;
   }
-  if (res == cache::WriteBuffer::PushResult::kNew) wbuf_ages_.push_back(now);
   // Only accepted stores are recorded: a rejected store has no side effects
   // and reappears in the stream at the cycle its retry lands.
   if (capture_) capture_->on_store(now, addr, value);
@@ -94,7 +93,6 @@ bool MemoryHierarchy::store(Cycle now, Addr addr, u64 value) {
 
 void MemoryHierarchy::drain_front(Cycle now) {
   cache::WriteBufferEntry e = wbuf_.pop();
-  wbuf_ages_.pop_front();
   const Cycle done = l2_.write(now, e.line, e.word_mask, e.words);
   // The next drain may start after this one's L2 array occupancy; the
   // demand-fill part of a write-allocate miss overlaps with later drains,
@@ -109,8 +107,7 @@ void MemoryHierarchy::tick(Cycle now) {
   if (strikes_) strikes_->tick(now);
   while (!wbuf_.empty() && wb_issue_free_ <= now) {
     const bool over_watermark = wbuf_.size() > config_.wb_high_watermark;
-    const bool aged =
-        now >= wbuf_ages_.front() + config_.wb_min_residency;
+    const bool aged = now >= wbuf_.front_stamp() + config_.wb_min_residency;
     if (!over_watermark && !aged) break;
     drain_front(now);
   }

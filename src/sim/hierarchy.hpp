@@ -5,7 +5,6 @@
 // study, over a split-transaction bus to main memory.
 #pragma once
 
-#include <deque>
 #include <memory>
 
 #include "cache/cache.hpp"
@@ -84,8 +83,7 @@ class MemoryHierarchy final : public cpu::MemoryInterface {
   cache::Cache l1d_;
   cpu::Tlb itlb_;
   cpu::Tlb dtlb_;
-  cache::WriteBuffer wbuf_;
-  std::deque<Cycle> wbuf_ages_;  ///< enqueue cycle of each buffer entry
+  cache::WriteBuffer wbuf_;  ///< enqueue stamps live in its SoA columns
   Cycle wb_issue_free_ = 0;
 };
 

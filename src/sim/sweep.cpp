@@ -1,13 +1,15 @@
 #include "sim/sweep.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <chrono>
 #include <cstdio>
-#include <deque>
 #include <exception>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
+#include "common/bitops.hpp"
+#include "common/mpmc_queue.hpp"
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
 
@@ -15,36 +17,8 @@ namespace aeep::sim {
 
 namespace {
 
-/// Per-worker job queue for the work-stealing pool. The owner pops from the
-/// front; thieves steal from the back, so an owner keeps the cache-warm
-/// (recently dealt) indices and thieves take the coldest work.
-struct WorkerQueue {
-  Mutex mutex;
-  std::deque<std::size_t> jobs AEEP_GUARDED_BY(mutex);
-
-  void push(std::size_t idx) {
-    const MutexLock lock(mutex);
-    jobs.push_back(idx);
-  }
-
-  bool pop_front(std::size_t& idx) {
-    const MutexLock lock(mutex);
-    if (jobs.empty()) return false;
-    idx = jobs.front();
-    jobs.pop_front();
-    return true;
-  }
-
-  bool steal_back(std::size_t& idx) {
-    const MutexLock lock(mutex);
-    if (jobs.empty()) return false;
-    idx = jobs.back();
-    jobs.pop_back();
-    return true;
-  }
-};
-
 void execute_job(const SweepJob& job, SweepOutcome& out) {
+  const auto start = std::chrono::steady_clock::now();
   try {
     out.result = run_benchmark(job.benchmark, job.options);
   } catch (const std::exception& e) {
@@ -52,6 +26,9 @@ void execute_job(const SweepJob& job, SweepOutcome& out) {
   } catch (...) {
     out.error = "unknown exception";
   }
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
 }
 
 }  // namespace
@@ -81,32 +58,63 @@ std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepJob>& grid,
     return out;
   }
 
-  // Deal jobs round-robin so every worker starts with a fair share; the
-  // deques + stealing absorb the (large) per-job runtime variance.
-  std::vector<WorkerQueue> queues(workers);
-  for (std::size_t i = 0; i < grid.size(); ++i)
-    queues[i % workers].push(i);
+  // All workers drain one shared lock-free ring. The queue is seeded with
+  // every job index before any thread starts, so try_pop() returning false
+  // means the grid is exhausted — no stealing or termination protocol
+  // needed, and the pop is a couple of atomics instead of a mutex.
+  MpmcQueue<std::size_t> work(static_cast<std::size_t>(
+      std::max<u64>(2, ceil_pow2(grid.size()))));
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (!work.try_push(i))
+      throw std::logic_error("sweep work queue refused a seeded job");
+  }
 
-  Mutex progress_mutex;
-  std::size_t completed = 0;
-  auto report = [&](std::size_t idx) {
-    const MutexLock lock(progress_mutex);
-    ++completed;
-    if (progress) {
-      SweepProgress p{completed, grid.size(), idx, &grid[idx], &out[idx]};
-      progress(p);
+  // Progress delivery. Completion events land in `pending` under a cheap
+  // lock, and whichever worker can grab `delivery_mutex` drains them in
+  // arrival order, numbering each event as it is delivered. Workers whose
+  // try_lock fails go straight back to simulating — a slow user callback
+  // can no longer serialise the pool (it only ever delays the one worker
+  // elected deliverer). Callbacks stay serialised and see `completed`
+  // strictly increasing 1..N, preserving the documented contract.
+  Mutex pending_mutex;
+  std::vector<std::size_t> pending;  // guarded by pending_mutex
+  Mutex delivery_mutex;
+  std::size_t delivered = 0;  // only touched while holding delivery_mutex
+
+  auto deliver_all_pending = [&]() {  // caller must hold delivery_mutex
+    for (;;) {
+      std::vector<std::size_t> batch;
+      {
+        const MutexLock lock(pending_mutex);
+        batch.swap(pending);
+      }
+      if (batch.empty()) return;
+      for (const std::size_t idx : batch) {
+        ++delivered;
+        SweepProgress p{delivered, grid.size(), idx, &grid[idx], &out[idx]};
+        progress(p);
+      }
     }
   };
 
-  auto worker_main = [&](unsigned me) {
+  auto report = [&](std::size_t idx) {
+    if (!progress) return;
+    {
+      const MutexLock lock(pending_mutex);
+      pending.push_back(idx);
+    }
+    if (delivery_mutex.try_lock()) {
+      deliver_all_pending();
+      delivery_mutex.unlock();
+    }
+    // try_lock failed: the current deliverer re-checks `pending` before
+    // releasing, but it may already be past that check — any stragglers are
+    // flushed by the final drain after the pool joins.
+  };
+
+  auto worker_main = [&]() {
     std::size_t idx = 0;
-    while (true) {
-      bool got = queues[me].pop_front(idx);
-      // Own queue dry: steal from the others, starting just past ourselves
-      // so thieves spread out instead of all raiding worker 0.
-      for (unsigned k = 1; !got && k < workers; ++k)
-        got = queues[(me + k) % workers].steal_back(idx);
-      if (!got) return;
+    while (work.try_pop(idx)) {
       execute_job(grid[idx], out[idx]);
       report(idx);
     }
@@ -114,16 +122,27 @@ std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepJob>& grid,
 
   std::vector<std::thread> pool;
   pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker_main, w);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker_main);
   for (auto& t : pool) t.join();
+
+  // Flush events stranded by the try_lock race window above.
+  if (progress) {
+    const MutexLock lock(delivery_mutex);
+    deliver_all_pending();
+  }
   return out;
 }
 
 std::vector<RunResult> SweepRunner::run_or_throw(
-    const std::vector<SweepJob>& grid, const ProgressFn& progress) const {
+    const std::vector<SweepJob>& grid, const ProgressFn& progress,
+    std::vector<double>* wall_seconds) const {
   std::vector<SweepOutcome> outcomes = run(grid, progress);
   std::vector<RunResult> results;
   results.reserve(outcomes.size());
+  if (wall_seconds) {
+    wall_seconds->clear();
+    wall_seconds->reserve(outcomes.size());
+  }
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     if (!outcomes[i].ok()) {
       throw std::runtime_error("sweep job " + std::to_string(i) + " (" +
@@ -131,6 +150,7 @@ std::vector<RunResult> SweepRunner::run_or_throw(
                                (grid[i].tag.empty() ? "" : ":" + grid[i].tag) +
                                ") failed: " + outcomes[i].error);
     }
+    if (wall_seconds) wall_seconds->push_back(outcomes[i].wall_seconds);
     results.push_back(std::move(outcomes[i].result));
   }
   return results;

@@ -1,8 +1,9 @@
 // Parallel sweep engine for (benchmark × sweep-point) experiment grids.
 //
 // Every figure/ablation bench drives dozens of fully independent, seeded
-// `System` runs; SweepRunner fans them out across a work-stealing thread
-// pool so a sweep finishes in grid/N wall-clock instead of grid wall-clock.
+// `System` runs; SweepRunner fans them out across a thread pool draining a
+// shared lock-free MPMC ring (common/mpmc_queue.hpp) so a sweep finishes in
+// grid/N wall-clock instead of grid wall-clock.
 // Guarantees:
 //  - deterministic results: outcomes come back indexed exactly like the
 //    submitted jobs, and each run is seeded entirely by its SystemConfig,
@@ -35,6 +36,7 @@ struct SweepJob {
 struct SweepOutcome {
   RunResult result{};
   std::string error{};  ///< non-empty: the job threw; result is meaningless
+  double wall_seconds = 0.0;  ///< this job's own wall clock (schema v2 cells)
   bool ok() const { return error.empty(); }
 };
 
@@ -60,14 +62,21 @@ class SweepRunner {
 
   /// Run the whole grid. Outcomes are indexed exactly like `grid`
   /// regardless of which worker ran what. `progress` (optional) is invoked
-  /// under a lock, in completion order.
+  /// serialised, in completion order, with `completed` strictly increasing
+  /// 1..N — but off the workers' critical path: a slow callback delays at
+  /// most the one worker currently elected to deliver events, never the
+  /// whole pool.
   std::vector<SweepOutcome> run(const std::vector<SweepJob>& grid,
                                 const ProgressFn& progress = nullptr) const;
 
   /// Like run(), but rethrows the first job error (grid-position order) —
   /// for callers that treat any failed cell as fatal, like the benches.
-  std::vector<RunResult> run_or_throw(const std::vector<SweepJob>& grid,
-                                      const ProgressFn& progress = nullptr) const;
+  /// `wall_seconds` (optional) receives each job's own wall clock, indexed
+  /// like the grid — the benches feed it into the schema-v2 per-cell
+  /// wall_clock_seconds field.
+  std::vector<RunResult> run_or_throw(
+      const std::vector<SweepJob>& grid, const ProgressFn& progress = nullptr,
+      std::vector<double>* wall_seconds = nullptr) const;
 
   /// std::thread::hardware_concurrency(), clamped to at least 1.
   static unsigned default_jobs();

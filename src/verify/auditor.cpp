@@ -167,13 +167,14 @@ u64 Auditor::audit_write_buffer(const cache::WriteBuffer& wbuf) {
       words >= 64 ? ~u64{0} : (u64{1} << words) - 1;
 
   std::set<Addr> lines;
-  for (const cache::WriteBufferEntry& e : wbuf.entries()) {
+  for (std::size_t i = 0; i < wbuf.size(); ++i) {
+    const cache::WriteBufferView e = wbuf.view(i);
     if (e.word_mask == 0)
       add("wbuf-empty-mask", 0, 0, "buffered entry carries no words");
     if ((e.word_mask & ~legal_mask) != 0)
       add("wbuf-mask-range", 0, 0, "word mask wider than the line");
     if (e.words.size() != words)
-      add("wbuf-size-mismatch", 0, 0, "payload vector mis-sized");
+      add("wbuf-size-mismatch", 0, 0, "payload span mis-sized");
     if ((e.line & (wbuf.line_bytes() - 1)) != 0)
       add("wbuf-misaligned", 0, 0, "entry address not line-aligned");
     if (!lines.insert(e.line).second)

@@ -450,6 +450,45 @@ TEST(SleepInSrc, SleepUntilAlsoFires) {
                     "sleep-in-src"));
 }
 
+// --- deque-in-hot-path -----------------------------------------------------
+
+TEST(HotQueue, FiresOnDequeAndQueueInSimAndServer) {
+  EXPECT_TRUE(fired("src/sim/x.hpp", "std::deque<Cycle> ages_;",
+                    "deque-in-hot-path"));
+  EXPECT_TRUE(fired("src/server/x.hpp", "std::queue<Job> pending_;",
+                    "deque-in-hot-path"));
+  EXPECT_TRUE(fired("src/sim/x.cpp", "std::deque<u64> local;",
+                    "deque-in-hot-path"));
+}
+
+TEST(HotQueue, OtherDirsAndOtherContainersQuiet) {
+  // The ban is scoped to the lock-free hot paths, not the whole tree.
+  EXPECT_FALSE(fired("src/trace/x.hpp", "std::deque<Record> backlog_;",
+                     "deque-in-hot-path"));
+  EXPECT_FALSE(fired("tests/x.cpp", "std::queue<int> q;",
+                     "deque-in-hot-path"));
+  EXPECT_FALSE(fired("src/sim/x.hpp", "std::vector<Cycle> stamps_;",
+                     "deque-in-hot-path"));
+  // priority_queue is a different beast (no MpmcQueue equivalent).
+  EXPECT_FALSE(fired("src/sim/x.hpp", "std::priority_queue<Ev> evq_;",
+                     "deque-in-hot-path"));
+}
+
+TEST(HotQueue, GrepFalsePositivesQuiet) {
+  EXPECT_FALSE(fired("src/sim/x.cpp",
+                     "// the old std::deque<Entry> FIFO is gone\n",
+                     "deque-in-hot-path"));
+  EXPECT_FALSE(fired("src/sim/x.cpp", "#include <deque>\n",
+                     "deque-in-hot-path"));
+}
+
+TEST(HotQueue, AllowCommentSuppresses) {
+  EXPECT_FALSE(fired("src/server/x.hpp",
+                     "// aeep-lint: allow(deque-in-hot-path)\n"
+                     "std::deque<Cold> cold_path_;",
+                     "deque-in-hot-path"));
+}
+
 // --- allow-comments --------------------------------------------------------
 
 TEST(Allow, TrailingCommentSuppressesSameLine) {
@@ -493,7 +532,7 @@ TEST(Report, FormatFindingIsFileLineRuleMessage) {
 
 TEST(Report, CatalogNamesAreUniqueAndNonEmpty) {
   const auto& catalog = rule_catalog();
-  EXPECT_EQ(catalog.size(), 10u);
+  EXPECT_EQ(catalog.size(), 11u);
   std::vector<std::string> names;
   for (const auto& r : catalog) {
     EXPECT_FALSE(r.name.empty());

@@ -204,14 +204,13 @@ TEST(WriteBuffer, CoalescesStoresToSameLine) {
   EXPECT_EQ(wb.push(0x100, 1), WriteBuffer::PushResult::kNew);
   EXPECT_EQ(wb.push(0x108, 2), WriteBuffer::PushResult::kCoalesced);
   EXPECT_EQ(wb.push(0x138, 3), WriteBuffer::PushResult::kCoalesced);
-  EXPECT_EQ(wb.size(), 1u);
-  const auto* e = wb.front();
-  ASSERT_NE(e, nullptr);
-  EXPECT_EQ(e->line, 0x100u);
-  EXPECT_EQ(e->word_mask, 0b10000011u);
-  EXPECT_EQ(e->words[0], 1u);
-  EXPECT_EQ(e->words[1], 2u);
-  EXPECT_EQ(e->words[7], 3u);
+  ASSERT_EQ(wb.size(), 1u);
+  const WriteBufferView e = wb.front();
+  EXPECT_EQ(e.line, 0x100u);
+  EXPECT_EQ(e.word_mask, 0b10000011u);
+  EXPECT_EQ(e.words[0], 1u);
+  EXPECT_EQ(e.words[1], 2u);
+  EXPECT_EQ(e.words[7], 3u);
   EXPECT_EQ(wb.stats().coalesced, 2u);
 }
 
@@ -219,7 +218,7 @@ TEST(WriteBuffer, LastWriteToWordWins) {
   WriteBuffer wb(16, 64);
   wb.push(0x200, 5);
   wb.push(0x200, 9);
-  EXPECT_EQ(wb.front()->words[0], 9u);
+  EXPECT_EQ(wb.front().words[0], 9u);
 }
 
 TEST(WriteBuffer, FifoDrainOrder) {
@@ -251,6 +250,53 @@ TEST(WriteBuffer, SixteenEntriesAsInPaper) {
   for (unsigned i = 0; i < 16; ++i)
     EXPECT_EQ(wb.push(i * 64, i), WriteBuffer::PushResult::kNew);
   EXPECT_EQ(wb.push(16 * 64, 0), WriteBuffer::PushResult::kFull);
+}
+
+TEST(WriteBuffer, StampsTrackEntryCreationNotCoalescing) {
+  WriteBuffer wb(4, 64);
+  wb.push(0x000, 1, /*now=*/10);
+  wb.push(0x008, 2, /*now=*/25);  // coalesces; oldest store sets the age
+  EXPECT_EQ(wb.front_stamp(), 10u);
+  EXPECT_EQ(wb.view(0).stamp, 10u);
+  wb.push(0x040, 3, /*now=*/30);
+  EXPECT_EQ(wb.view(1).stamp, 30u);
+}
+
+TEST(WriteBuffer, RingWrapsAroundAfterDrains) {
+  WriteBuffer wb(2, 64);
+  wb.push(0x000, 1);
+  wb.push(0x040, 2);
+  EXPECT_EQ(wb.pop().line, 0x000u);
+  // Reuses slot 0 while slot 1 still holds 0x040: FIFO order must survive
+  // the wrap, and the CAM must still see both lines.
+  wb.push(0x080, 3);
+  EXPECT_EQ(wb.push(0x048, 4), WriteBuffer::PushResult::kCoalesced);
+  EXPECT_EQ(wb.view(0).line, 0x040u);
+  EXPECT_EQ(wb.view(1).line, 0x080u);
+  EXPECT_EQ(wb.pop().line, 0x040u);
+  EXPECT_EQ(wb.pop().line, 0x080u);
+  EXPECT_TRUE(wb.empty());
+}
+
+TEST(WriteBuffer, PopMaterialisesPayloadCopy) {
+  WriteBuffer wb(2, 64);
+  wb.push(0x100, 7);
+  wb.push(0x118, 8);
+  WriteBufferEntry e = wb.pop();
+  EXPECT_EQ(e.line, 0x100u);
+  EXPECT_EQ(e.word_mask, 0b1001u);
+  ASSERT_EQ(e.words.size(), 8u);
+  EXPECT_EQ(e.words[0], 7u);
+  EXPECT_EQ(e.words[3], 8u);
+  EXPECT_EQ(e.words[1], 0u);
+  // Recycled storage is reused by the next pop without reallocating.
+  const u64* stolen = e.words.data();
+  wb.recycle(std::move(e));
+  EXPECT_EQ(wb.free_list_size(), 1u);
+  wb.push(0x200, 9);
+  WriteBufferEntry e2 = wb.pop();
+  EXPECT_EQ(e2.words.data(), stolen);
+  EXPECT_EQ(e2.words[0], 9u);
 }
 
 TEST(WriteBuffer, ResetVariants) {

@@ -362,6 +362,131 @@ TEST_P(LineCodecScratchEquivalence, DecodeInPlaceAliasingRepairsLine) {
 INSTANTIATE_TEST_SUITE_P(AllCodecs, LineCodecScratchEquivalence,
                          ::testing::Values("parity", "byte-parity", "secded"));
 
+// ---------------------------------------------------------------------------
+// Batched SWAR paths: encode_batch / encode_batch_masked / mismatch_mask must
+// agree bit-for-bit with the scalar per-word virtual calls on every codec —
+// the hot paths (line encode, clean scans, silent-write elision) lean on
+// this equivalence.
+// ---------------------------------------------------------------------------
+
+class BatchedCodecEquivalence : public ::testing::TestWithParam<const char*> {
+ protected:
+  const WordCodec& codec() {
+    const std::string which = GetParam();
+    if (which == "parity") return parity_;
+    if (which == "odd-parity") return odd_parity_;
+    if (which == "byte-parity") return byte_parity_;
+    return secded_;
+  }
+
+  ParityCodec parity_;
+  ParityCodec odd_parity_{true};
+  ByteParityCodec byte_parity_;
+  SecdedCodec secded_;
+};
+
+TEST_P(BatchedCodecEquivalence, EncodeBatchMatchesScalar) {
+  const WordCodec& c = codec();
+  Xorshift64Star rng(77);
+  std::vector<u64> data(8), batched(8);
+  for (int iter = 0; iter < 500; ++iter) {
+    for (auto& w : data) w = rng.next();
+    c.encode_batch(data, batched);
+    for (unsigned w = 0; w < 8; ++w) EXPECT_EQ(batched[w], c.encode(data[w]));
+  }
+}
+
+TEST_P(BatchedCodecEquivalence, MaskedEncodeTouchesOnlyMaskedWords) {
+  const WordCodec& c = codec();
+  Xorshift64Star rng(78);
+  std::vector<u64> data(8), check(8);
+  constexpr u64 kSentinel = 0xA5A5A5A5A5A5A5A5ull;
+  for (int iter = 0; iter < 200; ++iter) {
+    for (auto& w : data) w = rng.next();
+    const u64 mask = rng.next() & 0xFF;
+    std::fill(check.begin(), check.end(), kSentinel);
+    c.encode_batch_masked(data, mask, check);
+    for (unsigned w = 0; w < 8; ++w) {
+      if (mask & (u64{1} << w))
+        EXPECT_EQ(check[w], c.encode(data[w]));
+      else
+        EXPECT_EQ(check[w], kSentinel) << "unmasked word was overwritten";
+    }
+  }
+}
+
+TEST_P(BatchedCodecEquivalence, MismatchMaskAgreesWithScalarDecodeStatus) {
+  const WordCodec& c = codec();
+  Xorshift64Star rng(79);
+  std::vector<u64> data(8), check(8);
+  for (int iter = 0; iter < 500; ++iter) {
+    for (auto& w : data) w = rng.next();
+    c.encode_batch(data, check);
+    // Corrupt 0-3 words: data flips, check flips, and double flips.
+    for (unsigned k = iter % 4; k > 0; --k) {
+      const unsigned w = static_cast<unsigned>(rng.next_below(8));
+      if (rng.next_below(2) == 0)
+        data[w] = flip_bit(data[w], static_cast<unsigned>(rng.next_below(64)));
+      else
+        check[w] ^= u64{1} << rng.next_below(c.check_bits());
+    }
+    const u64 mm = c.mismatch_mask(data, check);
+    for (unsigned w = 0; w < 8; ++w) {
+      const bool flagged = (mm >> w) & 1;
+      const bool scalar_bad =
+          c.decode(data[w], check[w]).status != DecodeStatus::kOk;
+      EXPECT_EQ(flagged, scalar_bad) << "word " << w;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, BatchedCodecEquivalence,
+                         ::testing::Values("parity", "odd-parity",
+                                           "byte-parity", "secded"));
+
+TEST(ByteParityCodec, SwarEncodeMatchesReferenceLoop) {
+  ByteParityCodec c;
+  Xorshift64Star rng(80);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const u64 x = iter < 3 ? static_cast<u64>(iter) : rng.next();
+    u64 ref = 0;
+    for (unsigned b = 0; b < 8; ++b) {
+      const auto byte = static_cast<unsigned>((x >> (8 * b)) & 0xFF);
+      ref |= static_cast<u64>(popcount64(byte) & 1) << b;
+    }
+    EXPECT_EQ(c.encode(x), ref) << "word " << std::hex << x;
+  }
+}
+
+TEST(LineCodec, EncodeDirtyReencodesExactlyTheDirtyWords) {
+  SecdedCodec secded;
+  LineCodec lc(secded, 64);
+  Xorshift64Star rng(81);
+  std::vector<u64> data(8), check(8);
+  for (int iter = 0; iter < 200; ++iter) {
+    for (auto& w : data) w = rng.next();
+    lc.encode(data, check);
+
+    // Mutate a random subset and refresh only those words' codes.
+    const u64 dirty = rng.next() & 0xFF;
+    const std::vector<u64> stale_check = check;
+    for (unsigned w = 0; w < 8; ++w)
+      if (dirty & (u64{1} << w)) data[w] = rng.next();
+    lc.encode_dirty(data, dirty, check);
+
+    for (unsigned w = 0; w < 8; ++w) {
+      if (dirty & (u64{1} << w))
+        EXPECT_EQ(check[w], secded.encode(data[w]));
+      else
+        EXPECT_EQ(check[w], stale_check[w]);
+    }
+    // The refreshed line must decode clean end to end.
+    std::vector<u64> out(8);
+    EXPECT_EQ(lc.decode(data, check, out).worst, DecodeStatus::kOk);
+    EXPECT_EQ(out, data);
+  }
+}
+
 TEST(LineCodec, WorseOrdersSeverity) {
   EXPECT_EQ(worse(DecodeStatus::kOk, DecodeStatus::kCorrectedSingle),
             DecodeStatus::kCorrectedSingle);

@@ -1,0 +1,190 @@
+// MpmcQueue: the bounded lock-free ring under the sweep pool and the job
+// server. Edge cases (empty/full/wraparound, power-of-two enforcement) plus
+// multi-producer/multi-consumer stress — the stress tests also run under
+// the TSan CI job, which is what actually checks the memory orderings.
+#include "common/mpmc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace aeep {
+namespace {
+
+TEST(MpmcQueue, StartsEmpty) {
+  MpmcQueue<int> q(8);
+  EXPECT_TRUE(q.approx_empty());
+  EXPECT_EQ(q.approx_size(), 0u);
+  EXPECT_EQ(q.capacity(), 8u);
+  int v = 0;
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(MpmcQueue, CapacityMustBePowerOfTwoAtLeastTwo) {
+  EXPECT_THROW(MpmcQueue<int>(0), std::invalid_argument);
+  // Capacity 1 is rejected even though it is a power of two: the release
+  // value a pop writes (pos + capacity) would equal the publish value a
+  // push writes (pos + 1), so full/free states collide and the ring both
+  // mis-admits a second push and livelocks the next pop.
+  EXPECT_THROW(MpmcQueue<int>(1), std::invalid_argument);
+  EXPECT_THROW(MpmcQueue<int>(3), std::invalid_argument);
+  EXPECT_THROW(MpmcQueue<int>(12), std::invalid_argument);
+  EXPECT_NO_THROW(MpmcQueue<int>(2));
+  EXPECT_NO_THROW(MpmcQueue<int>(64));
+}
+
+TEST(MpmcQueue, FifoOrderSingleThread) {
+  MpmcQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(MpmcQueue, PushFailsWhenFull) {
+  MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.approx_size(), 2u);
+  int v = 0;
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_TRUE(q.try_push(3));  // slot freed, push admitted again
+  EXPECT_FALSE(q.try_push(4));
+}
+
+TEST(MpmcQueue, WrapsAroundManyTimes) {
+  MpmcQueue<int> q(4);
+  // Drive the tickets far past the ring size so slot sequence numbers wrap
+  // through several laps.
+  for (int lap = 0; lap < 100; ++lap) {
+    EXPECT_TRUE(q.try_push(lap));
+    EXPECT_TRUE(q.try_push(lap + 1000));
+    int a = 0, b = 0;
+    EXPECT_TRUE(q.try_pop(a));
+    EXPECT_TRUE(q.try_pop(b));
+    EXPECT_EQ(a, lap);
+    EXPECT_EQ(b, lap + 1000);
+  }
+  EXPECT_TRUE(q.approx_empty());
+}
+
+TEST(MpmcQueue, MinimumCapacityActsAsHandoffPair) {
+  MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(7));
+  EXPECT_TRUE(q.try_push(8));
+  EXPECT_FALSE(q.try_push(9));
+  int v = 0;
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 7);
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 8);
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(MpmcQueue, MoveOnlyPayload) {
+  MpmcQueue<std::unique_ptr<int>> q(2);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(42)));
+  std::unique_ptr<int> p;
+  EXPECT_TRUE(q.try_pop(p));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 42);
+}
+
+// Every pushed value is popped exactly once across competing producers and
+// consumers, and the queue drains to empty. TSan validates the orderings.
+TEST(MpmcQueue, MpmcStressEveryValueDeliveredOnce) {
+  constexpr unsigned kProducers = 4;
+  constexpr unsigned kConsumers = 4;
+  constexpr std::size_t kPerProducer = 5000;
+  MpmcQueue<std::size_t> q(256);
+  std::atomic<std::size_t> produced{0};
+  std::atomic<bool> done{false};
+  std::vector<std::vector<std::size_t>> got(kConsumers);
+
+  std::vector<std::thread> threads;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        const std::size_t v = p * kPerProducer + i;
+        while (!q.try_push(v)) std::this_thread::yield();
+        produced.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (unsigned c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      std::size_t v = 0;
+      while (true) {
+        if (q.try_pop(v)) {
+          got[c].push_back(v);
+        } else if (done.load(std::memory_order_acquire)) {
+          if (!q.try_pop(v)) break;  // final drain after producers stop
+          got[c].push_back(v);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (unsigned p = 0; p < kProducers; ++p) threads[p].join();
+  done.store(true, std::memory_order_release);
+  for (unsigned c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (const auto& vec : got) {
+    total += vec.size();
+    for (const std::size_t v : vec) {
+      EXPECT_TRUE(seen.insert(v).second) << "value " << v << " popped twice";
+    }
+  }
+  EXPECT_EQ(total, kProducers * kPerProducer);
+  EXPECT_EQ(seen.size(), kProducers * kPerProducer);
+  EXPECT_TRUE(q.approx_empty());
+}
+
+// Per-producer FIFO: a single consumer must see each producer's values in
+// the order that producer pushed them (the queue is linearizable per slot;
+// cross-producer interleaving is free, intra-producer order is not).
+TEST(MpmcQueue, PerProducerOrderPreserved) {
+  constexpr unsigned kProducers = 3;
+  constexpr std::size_t kPerProducer = 4000;
+  MpmcQueue<std::size_t> q(64);
+  std::vector<std::thread> producers;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        while (!q.try_push(p * kPerProducer + i)) std::this_thread::yield();
+      }
+    });
+  }
+  std::vector<std::size_t> next(kProducers, 0);
+  std::size_t popped = 0;
+  std::size_t v = 0;
+  while (popped < kProducers * kPerProducer) {
+    if (!q.try_pop(v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const std::size_t p = v / kPerProducer;
+    const std::size_t i = v % kPerProducer;
+    ASSERT_LT(p, kProducers);
+    EXPECT_EQ(i, next[p]) << "producer " << p << " reordered";
+    next[p] = i + 1;
+    ++popped;
+  }
+  for (auto& t : producers) t.join();
+}
+
+}  // namespace
+}  // namespace aeep

@@ -10,6 +10,9 @@ Usage: check_bench_schema.py BASELINE.json FRESH.json
        check_bench_schema.py --self-test
 
 Rules:
+  - Both files must declare schema_version == EXPECTED_SCHEMA_VERSION (2:
+    v2 added the per-cell wall_clock_seconds field). Values are pinned for
+    this key only — everywhere else values may differ.
   - Objects must have exactly the same key sets, recursively. Every missing
     or unexpected key is reported on its own line with its exact full path
     (e.g. `$.config.frontend: missing in fresh`), so the offending key can
@@ -26,6 +29,8 @@ a broken checker cannot silently wave drift through).
 
 import json
 import sys
+
+EXPECTED_SCHEMA_VERSION = 2
 
 
 def type_name(v):
@@ -64,6 +69,15 @@ def diff_shapes(base, fresh, path, errors):
                 diff_shapes(base[0], elem, f"{path}[{i}]", errors)
 
 
+def check_schema_version(doc, label, errors):
+    v = doc.get("schema_version") if isinstance(doc, dict) else None
+    if v != EXPECTED_SCHEMA_VERSION:
+        errors.append(
+            f"$.schema_version: {label} declares {v!r}, "
+            f"expected {EXPECTED_SCHEMA_VERSION}"
+        )
+
+
 def self_test():
     """Fixture pairs: (baseline, fresh, expected error lines)."""
     cases = [
@@ -96,6 +110,27 @@ def self_test():
                 "$.x.deep.added: unexpected in fresh",
             ],
         ),
+        # v2: every cell carries its own wall_clock_seconds; a bench that
+        # drops it (or adds surprise keys) is schema drift like any other.
+        (
+            {"cells": [{"tag": "a", "wall_clock_seconds": 0.5,
+                        "metrics": {"ipc": 1.0}}]},
+            {"cells": [{"tag": "a", "metrics": {"ipc": 1.0}}]},
+            ["$.cells[0].wall_clock_seconds: missing in fresh"],
+        ),
+    ]
+    version_cases = [
+        ({"schema_version": 2}, "baseline", []),
+        (
+            {"schema_version": 1},
+            "fresh",
+            ["$.schema_version: fresh declares 1, expected 2"],
+        ),
+        (
+            {"cells": []},
+            "baseline",
+            ["$.schema_version: baseline declares None, expected 2"],
+        ),
     ]
     failed = 0
     for i, (base, fresh, expected) in enumerate(cases):
@@ -106,11 +141,19 @@ def self_test():
             print(f"self-test case {i} FAILED:", file=sys.stderr)
             print(f"  expected: {expected}", file=sys.stderr)
             print(f"  got:      {errors}", file=sys.stderr)
+    for i, (doc, label, expected) in enumerate(version_cases):
+        errors = []
+        check_schema_version(doc, label, errors)
+        if errors != expected:
+            failed += 1
+            print(f"self-test version case {i} FAILED:", file=sys.stderr)
+            print(f"  expected: {expected}", file=sys.stderr)
+            print(f"  got:      {errors}", file=sys.stderr)
+    total = len(cases) + len(version_cases)
     if failed:
-        print(f"self-test: {failed}/{len(cases)} cases failed",
-              file=sys.stderr)
+        print(f"self-test: {failed}/{total} cases failed", file=sys.stderr)
         return 1
-    print(f"self-test: all {len(cases)} cases pass")
+    print(f"self-test: all {total} cases pass")
     return 0
 
 
@@ -127,6 +170,8 @@ def main(argv):
     with open(argv[2]) as f:
         fresh = json.load(f)
     errors = []
+    check_schema_version(base, "baseline", errors)
+    check_schema_version(fresh, "fresh", errors)
     diff_shapes(base, fresh, "$", errors)
     if errors:
         print(f"bench schema drift vs {argv[1]}:")
