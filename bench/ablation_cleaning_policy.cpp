@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
     }
   }
   const std::vector<sim::RunResult> results =
-      sim::SweepRunner(jobs).run_or_throw(grid, sim::stderr_progress());
+      bench::run_sweep(opt, grid);
 
   TextTable table({"policy", "avg dirty%", "Clean-WB/ls", "total WB/ls",
                    "avg IPC"});

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     }
   }
   const std::vector<sim::RunResult> results =
-      sim::SweepRunner(jobs).run_or_throw(grid, sim::stderr_progress());
+      bench::run_sweep(opt, grid);
 
   const auto conv = protect::conventional_area(cache::kL2Geometry);
   TextTable table({"entries/set", "area", "reduction", "avg dirty%",

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     grid.push_back({name, eo, "naive"});
   }
   const std::vector<sim::RunResult> results =
-      sim::SweepRunner(jobs).run_or_throw(grid, sim::stderr_progress());
+      bench::run_sweep(opt, grid);
 
   TextTable table({"benchmark", "dirty% written-bit", "dirty% naive",
                    "WB/ls written-bit", "WB/ls naive"});

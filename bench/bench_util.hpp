@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
 #include "sim/sweep.hpp"
+#include "store/sweep_cache.hpp"
 
 namespace aeep::bench {
 
@@ -23,6 +25,7 @@ struct CommonOptions {
   std::string json_path;          ///< --json=<path>: machine-readable results
   std::string frontend = "exec";  ///< exec | trace (see --trace-dir)
   std::string trace_dir;          ///< frontend=trace: <dir>/<benchmark>.aeept
+  std::string store_dir;          ///< --store=DIR: result-store cache
 };
 
 inline CommonOptions parse_common(const CliArgs& args) {
@@ -35,6 +38,7 @@ inline CommonOptions parse_common(const CliArgs& args) {
   o.json_path = args.get("json", o.json_path);
   o.frontend = args.get("frontend", o.frontend);
   o.trace_dir = args.get("trace-dir", o.trace_dir);
+  o.store_dir = args.get("store", o.store_dir);
   if (o.frontend != "exec" && o.frontend != "trace") {
     std::fprintf(stderr, "unknown --frontend=%s (exec | trace)\n",
                  o.frontend.c_str());
@@ -70,6 +74,36 @@ inline void require_exec_frontend(const CommonOptions& o, const char* why) {
 /// otherwise one per hardware thread.
 inline unsigned resolve_jobs(const CommonOptions& o) {
   return o.jobs == 0 ? sim::SweepRunner::default_jobs() : o.jobs;
+}
+
+/// The one sweep entry point the figure benches share: run_or_throw with
+/// the --store result cache in front when one was requested. Cached cells
+/// round-trip every RunResult field, so a warm re-run's tables and --json
+/// cells are byte-identical to the run that populated the store.
+inline std::vector<sim::RunResult> run_sweep(
+    const CommonOptions& o, const std::vector<sim::SweepJob>& grid,
+    std::vector<double>* wall_seconds = nullptr) {
+  const sim::SweepRunner runner(resolve_jobs(o));
+  if (o.store_dir.empty())
+    return runner.run_or_throw(grid, sim::stderr_progress(), wall_seconds);
+  std::unique_ptr<store::SweepCache> cache;
+  try {
+    cache = std::make_unique<store::SweepCache>(
+        store::StoreConfig{o.store_dir, 4096});
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot open --store=%s: %s\n", o.store_dir.c_str(),
+                 e.what());
+    std::exit(1);
+  }
+  std::vector<sim::RunResult> results = store::run_grid_cached(
+      runner, grid, cache.get(), sim::stderr_progress(), wall_seconds);
+  const store::SweepCacheStats s = cache->stats();
+  std::fprintf(stderr, "store: hits=%llu misses=%llu inserts=%llu (%s)\n",
+               static_cast<unsigned long long>(s.hits),
+               static_cast<unsigned long long>(s.misses),
+               static_cast<unsigned long long>(s.inserts),
+               o.store_dir.c_str());
+  return results;
 }
 
 inline std::vector<std::string> suite_benchmarks(const std::string& suite) {

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   std::vector<sim::SweepJob> grid;
   for (const auto& name : benchmarks) grid.push_back({name, eo, "baseline"});
   const std::vector<sim::RunResult> results =
-      sim::SweepRunner(jobs).run_or_throw(grid, sim::stderr_progress());
+      bench::run_sweep(opt, grid);
 
   TextTable table({"benchmark", "suite", "dirty lines/cycle", "avg dirty lines",
                    "L2 miss rate", "IPC"});

@@ -45,8 +45,8 @@ int main(int argc, char** argv) {
     }
   }
   std::vector<double> cell_walls;
-  const std::vector<sim::RunResult> results = sim::SweepRunner(jobs).run_or_throw(
-      grid, sim::stderr_progress(), &cell_walls);
+  const std::vector<sim::RunResult> results =
+      bench::run_sweep(opt, grid, &cell_walls);
 
   std::vector<double> sums(cols, 0.0);
   for (std::size_t b = 0; b < benchmarks.size(); ++b) {

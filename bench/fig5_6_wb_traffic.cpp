@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     }
   }
   const std::vector<sim::RunResult> results =
-      sim::SweepRunner(jobs).run_or_throw(grid, sim::stderr_progress());
+      bench::run_sweep(opt, grid);
 
   std::vector<double> sums(cols, 0.0);
   for (std::size_t b = 0; b < benchmarks.size(); ++b) {

@@ -110,7 +110,8 @@ class JsonReporter {
   bool write(const std::string& path) {
     if (path.empty()) return true;
     root_.set("wall_clock_seconds", JsonValue::number(elapsed_seconds()));
-    FILE* f = std::fopen(path.c_str(), "w");
+    // Whole-document overwrite of a human-readable report.
+    FILE* f = std::fopen(path.c_str(), "w");  // aeep-lint: allow(raw-fs-call)
     if (!f) {
       std::fprintf(stderr, "cannot write --json file: %s\n", path.c_str());
       return false;

@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
     }
   }
   const std::vector<sim::RunResult> results =
-      sim::SweepRunner(jobs).run_or_throw(grid, sim::stderr_progress());
+      bench::run_sweep(opt, grid);
 
   TextTable t({"scheme", "rate", "IPC", "dIPC%", "corr", "refetch", "DUE",
                "dropped", "retired", "stall-cyc"});

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     grid.push_back({name, ours, "proposed"});
   }
   const std::vector<sim::RunResult> results =
-      sim::SweepRunner(jobs).run_or_throw(grid, sim::stderr_progress());
+      bench::run_sweep(opt, grid);
 
   TextTable table({"benchmark", "suite", "IPC org", "IPC proposed", "loss"});
   double fp_loss = 0.0, int_loss = 0.0;

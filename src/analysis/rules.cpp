@@ -13,6 +13,7 @@ constexpr const char* kOptionalValue = "unchecked-optional-value";
 constexpr const char* kStatsReset = "stats-reset";
 constexpr const char* kEccAlloc = "ecc-allocating-codec";
 constexpr const char* kRawFileIo = "raw-file-io";
+constexpr const char* kRawFsCall = "raw-fs-call";
 constexpr const char* kRawSocket = "raw-socket";
 constexpr const char* kMutexGuard = "mutex-guard";
 constexpr const char* kThreadDetach = "thread-detach";
@@ -221,6 +222,47 @@ void check_raw_file_io(FileContext& ctx) {
   }
 }
 
+// --- rule: raw-fs-call -----------------------------------------------------
+// File lifecycle calls (fopen/rename/remove/...) outside src/store and
+// src/trace: the result store's crash-safety story (append + flush,
+// write-temp-then-rename, torn-tail truncation) only holds if nothing else
+// in the tree opens or renames files behind its back. Everything else goes
+// through trace::FileReader/FileWriter or the store; the handful of
+// deliberate call sites (the access log's rotation, report writers) carry
+// an allow-comment each so a new one is a conscious decision.
+void check_raw_fs_call(FileContext& ctx) {
+  const auto& code = ctx.code;
+  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+    const Token& t = code[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text != "fopen" && t.text != "freopen" && t.text != "rename" &&
+        t.text != "remove" && t.text != "unlink" && t.text != "creat" &&
+        t.text != "open")
+      continue;
+    if (!is_punct(code[i + 1], "(")) continue;
+    if (i > 0) {
+      const Token& prev = code[i - 1];
+      // Member calls (log_.open, vec.remove) are someone else's API.
+      if (is_punct(prev, ".") || is_punct(prev, "->")) continue;
+      // Qualified names: only std::X is the banned libc call —
+      // std::filesystem::rename is the checked wrapper, AccessLog::open a
+      // definition.
+      if (is_punct(prev, "::")) {
+        if (!(i >= 2 && is_ident(code[i - 2], "std"))) continue;
+      } else if (prev.kind == TokenKind::kIdentifier) {
+        // `void open(`-style declarations: a preceding identifier is a
+        // return type or specifier, not a call position.
+        continue;
+      }
+    }
+    ctx.report(kRawFsCall, t.line,
+               "direct " + t.text +
+                   "() outside src/store and src/trace is banned; use "
+                   "trace::FileReader/FileWriter or the result store "
+                   "(deliberate: aeep-lint: allow(raw-fs-call))");
+  }
+}
+
 // --- rule: raw-socket ------------------------------------------------------
 // Network I/O must go through server::Socket/Listener, which retry short
 // transfers and EINTR and raise typed ServerErrors.
@@ -403,6 +445,9 @@ const std::vector<RuleInfo>& rule_catalog() {
        "no std::vector-returning encode()/decode() under src/ecc/"},
       {kRawFileIo,
        "no raw fread()/fwrite() outside src/trace/io (tests exempt)"},
+      {kRawFsCall,
+       "no direct fopen/rename/remove outside src/store + src/trace "
+       "(tests exempt)"},
       {kRawSocket,
        "no raw socket()/send()/recv() outside src/server/socket.*"},
       {kMutexGuard,
@@ -438,6 +483,9 @@ std::vector<Finding> lint_file(const std::string& path,
   if (starts_with(path, "src/ecc/")) check_ecc_alloc(ctx);
   if (!in_tests && !starts_with(path, "src/trace/io."))
     check_raw_file_io(ctx);
+  if (!in_tests && !starts_with(path, "src/store/") &&
+      !starts_with(path, "src/trace/"))
+    check_raw_fs_call(ctx);
   if (!starts_with(path, "src/server/socket.")) check_raw_socket(ctx);
   if (in_src && path != "src/common/mutex.hpp") check_mutex_guard(ctx);
   check_thread_detach(ctx);

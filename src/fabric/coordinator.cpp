@@ -34,6 +34,9 @@ Coordinator::Coordinator(FabricConfig config)
   if (config_.batch_size == 0) config_.batch_size = 1;
   if (config_.max_attempts == 0) config_.max_attempts = 1;
   if (config_.straggler_factor < 1.0) config_.straggler_factor = 1.0;
+  if (!config_.store_dir.empty())
+    cache_ = std::make_unique<store::SweepCache>(
+        store::StoreConfig{config_.store_dir, 4096});
 }
 
 FabricStats Coordinator::stats() const {
@@ -92,12 +95,43 @@ std::vector<FabricOutcome> Coordinator::run(
   rs.out = &out;
   rs.cells.resize(grid.size());
   rs.progress = progress;
+
+  // Consult the result store before sharding anything: a hit cell is
+  // delivered terminal right here (worker = "cache", zero attempts) and
+  // never enters the pending queue. Lookups run unlocked — the cache has
+  // its own mutex and the two never nest.
+  std::vector<JsonValue> cached(grid.size());
+  std::vector<char> is_hit(grid.size(), 0);
+  if (cache_) {
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (std::optional<JsonValue> m = cache_->lookup_metrics(grid[i])) {
+        cached[i] = std::move(*m);
+        is_hit[i] = 1;
+      }
+    }
+  }
   {
     const MutexLock lock(mutex_);
     for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (is_hit[i]) {
+        Cell& c = rs.cells[i];
+        c.done = true;
+        FabricOutcome oc;
+        oc.metrics = std::move(cached[i]);
+        oc.worker = "cache";
+        out[i] = std::move(oc);
+        ++rs.completed;
+        ++stats_.jobs_cached;
+        if (rs.progress) {
+          FabricProgress p{rs.completed, grid.size(), i, &grid[i], &out[i]};
+          rs.progress(p);
+        }
+        continue;
+      }
       rs.cells[i].queued = true;
       rs.pending.push_back(i);
     }
+    if (rs.completed == grid.size()) rs.finished = true;
   }
 
   if (!config_.workers.empty()) probe_fleet();
@@ -128,6 +162,20 @@ std::vector<FabricOutcome> Coordinator::run(
   }
   cv_work_.notify_all();
   for (auto& t : threads) t.join();
+
+  // Persist what the run computed (cache hits are already stored). A
+  // worker returns metrics JSON, not a RunResult, so fabric records are
+  // metrics-only — enough for the next fabric/served consumer.
+  if (cache_) {
+    u64 inserted = 0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (!out[i].ok() || out[i].worker == "cache") continue;
+      cache_->insert_metrics(grid[i], out[i].metrics);
+      ++inserted;
+    }
+    const MutexLock lock(mutex_);
+    stats_.store_inserts += inserted;
+  }
   return out;
 }
 

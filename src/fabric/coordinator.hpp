@@ -40,6 +40,7 @@
 #include "fabric/backoff.hpp"
 #include "fabric/registry.hpp"
 #include "sim/sweep.hpp"
+#include "store/sweep_cache.hpp"
 
 namespace aeep::fabric {
 
@@ -58,6 +59,11 @@ struct FabricConfig {
   bool allow_local_fallback = true;
   unsigned local_jobs = 0;        ///< SweepRunner threads when degraded
   u64 probe_timeout_ms = 2'000;   ///< health-probe round-trip budget
+  /// Result-store directory (store::SweepCache). Empty = no cache. Cells
+  /// whose digest hits the store are delivered (worker = "cache") before
+  /// anything is sharded to the fleet; completed cells are inserted after
+  /// the run so the next identical sweep is served without dispatching.
+  std::string store_dir;
 };
 
 /// One grid cell's outcome. `metrics` is the canonical
@@ -77,6 +83,8 @@ struct FabricStats {
   u64 dispatches = 0;       ///< batches sent to workers
   u64 jobs_remote = 0;      ///< cells won by the fleet
   u64 jobs_local = 0;       ///< cells won by degraded-mode fallback
+  u64 jobs_cached = 0;      ///< cells served from the result store
+  u64 store_inserts = 0;    ///< completed cells written to the store
   u64 retries = 0;          ///< cell re-queues after a failure
   u64 speculative_dispatches = 0;
   u64 duplicates_discarded = 0;  ///< lost the first-result-wins race
@@ -153,6 +161,9 @@ class Coordinator {
 
   FabricConfig config_;
   WorkerRegistry registry_;
+  /// Present when config.store_dir is set. Internally locked; consulted
+  /// before and after a run, never while holding mutex_.
+  std::unique_ptr<store::SweepCache> cache_;
 
   /// Guards stats_ plus the per-run RunState (cells/pending/completed/
   /// finished) threaded through the private helpers — RunState is a local

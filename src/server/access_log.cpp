@@ -16,7 +16,8 @@ void AccessLog::open(const std::string& path, u64 max_bytes) {
     owns_ = false;
     max_bytes_ = 0;  // rotating stderr makes no sense
   } else {
-    out_ = std::fopen(path.c_str(), "a");
+    // The log is line-oriented text, not a CRC-framed artifact.
+    out_ = std::fopen(path.c_str(), "a");  // aeep-lint: allow(raw-fs-call)
     if (!out_)
       throw ServerError(ServerErrorKind::kIo,
                         "cannot open access log '" + path +
@@ -64,14 +65,17 @@ void AccessLog::rotate_locked() {
   std::fclose(out_);
   out_ = nullptr;
   const std::string old = path_ + ".1";
-  std::remove(old.c_str());
-  if (std::rename(path_.c_str(), old.c_str()) != 0) {
+  // Log rotation is inherently a rename dance; losing a log line to a
+  // crash here is acceptable in a way losing a store record is not.
+  std::remove(old.c_str());    // aeep-lint: allow(raw-fs-call)
+  if (std::rename(path_.c_str(),  // aeep-lint: allow(raw-fs-call)
+                  old.c_str()) != 0) {
     // Rotation failed (permissions?): reopen the original and keep
     // appending — an over-budget log beats a lost one.
-    out_ = std::fopen(path_.c_str(), "a");
+    out_ = std::fopen(path_.c_str(), "a");  // aeep-lint: allow(raw-fs-call)
     return;
   }
-  out_ = std::fopen(path_.c_str(), "a");
+  out_ = std::fopen(path_.c_str(), "a");  // aeep-lint: allow(raw-fs-call)
   if (out_) {
     written_ = 0;
     ++rotations_;

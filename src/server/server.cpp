@@ -53,6 +53,9 @@ void JobServer::start() {
   if (!config_.trace_dir.empty()) registry_.scan_directory(config_.trace_dir);
   if (!config_.access_log_path.empty())
     log_.open(config_.access_log_path, config_.access_log_max_bytes);
+  if (!config_.store_dir.empty())
+    cache_ = std::make_unique<store::SweepCache>(
+        store::StoreConfig{config_.store_dir, 4096});
   runner_ = std::make_unique<sim::SweepRunner>(config_.workers);
   listener_ = std::make_unique<Listener>(config_.host, config_.port);
   started_at_ = Clock::now();
@@ -63,6 +66,7 @@ void JobServer::start() {
     f.set("workers", JsonValue::number(u64{runner_->jobs()}));
     f.set("queue_capacity", JsonValue::number(u64{config_.queue_capacity}));
     f.set("traces", JsonValue::number(u64{registry_.size()}));
+    if (cache_) f.set("store", JsonValue::string(config_.store_dir));
     log_.write("listening", std::move(f));
   }
   accept_thread_ = std::thread([this] { accept_loop(); });
@@ -215,20 +219,37 @@ void JobServer::dispatch_loop() {
     // callback the moment it finishes — a fast trace replay's client is
     // answered while a slow exec job in the same batch still runs.
     runner_->run(grid, [&](const sim::SweepProgress& p) {
-      const MutexLock g(mutex_);
-      const auto it = jobs_.find(ids[p.job_index]);
-      if (it == jobs_.end()) return;
-      Job& job = it->second;
-      if (!p.outcome->ok()) {
-        finish_job_locked(job, JobState::kFailed, ServerErrorKind::kInternal,
-                          p.outcome->error);
-      } else if (job.has_deadline && Clock::now() > job.deadline) {
-        finish_job_locked(job, JobState::kTimeout, ServerErrorKind::kTimeout,
-                          "completed after its deadline; result discarded");
-      } else {
-        job.result = p.outcome->result;
-        finish_job_locked(job, JobState::kDone, ServerErrorKind::kInternal,
-                          "");
+      bool store_result = false;
+      {
+        const MutexLock g(mutex_);
+        const auto it = jobs_.find(ids[p.job_index]);
+        if (it == jobs_.end()) return;
+        Job& job = it->second;
+        if (!p.outcome->ok()) {
+          finish_job_locked(job, JobState::kFailed, ServerErrorKind::kInternal,
+                            p.outcome->error);
+        } else if (job.has_deadline && Clock::now() > job.deadline) {
+          finish_job_locked(job, JobState::kTimeout, ServerErrorKind::kTimeout,
+                            "completed after its deadline; result discarded");
+        } else {
+          job.result = p.outcome->result;
+          finish_job_locked(job, JobState::kDone, ServerErrorKind::kInternal,
+                            "");
+          store_result = cache_ != nullptr;
+        }
+      }
+      // The store insert happens after mutex_ is released — the cache has
+      // its own lock and the two must never nest (see submit_job).
+      if (store_result) {
+        cache_->insert(grid[p.job_index], p.outcome->result);
+        {
+          const MutexLock g(mutex_);
+          ++stats_.cache_stores;
+        }
+        JsonValue f = JsonValue::object();
+        f.set("job", JsonValue::number(ids[p.job_index]));
+        f.set("benchmark", JsonValue::string(grid[p.job_index].benchmark));
+        log_.write("cache_store", std::move(f));
       }
     });
   }
@@ -427,6 +448,53 @@ u64 JobServer::submit_job(const JsonValue& req) {
   if (spec.frontend == sim::Frontend::kTrace)
     options.trace_path = registry_.path_of(spec.trace_name());
 
+  // Consult the result store before the queue: a hit is born terminal and
+  // never consumes a pool slot. The cache lock is taken and released here,
+  // before mutex_ — the two are never held together in this order or the
+  // other (inserts in dispatch_loop also run unlocked).
+  if (cache_) {
+    sim::SweepJob probe;
+    probe.benchmark = spec.benchmark;
+    probe.options = options;
+    std::optional<sim::RunResult> hit = cache_->lookup_result(probe);
+    if (hit) {
+      u64 id = 0;
+      {
+        const MutexLock lock(mutex_);
+        if (draining_.load()) {
+          ++stats_.shutdown_rejected;
+          throw ServerError(ServerErrorKind::kShutdown,
+                            "server is draining; not accepting new jobs");
+        }
+        id = next_job_id_++;
+        Job job;
+        job.id = id;
+        job.spec = std::move(spec);
+        job.options = std::move(options);
+        job.submitted_at = Clock::now();
+        job.result = std::move(*hit);
+        const auto [it, inserted] = jobs_.emplace(id, std::move(job));
+        (void)inserted;
+        ++stats_.submitted;
+        ++stats_.cache_hits;
+        finish_job_locked(it->second, JobState::kDone,
+                          ServerErrorKind::kInternal, "");
+      }
+      JsonValue f = JsonValue::object();
+      f.set("job", JsonValue::number(id));
+      f.set("benchmark", JsonValue::string(probe.benchmark));
+      log_.write("cache_hit", std::move(f));
+      return id;
+    }
+    {
+      const MutexLock lock(mutex_);
+      ++stats_.cache_misses;
+    }
+    JsonValue f = JsonValue::object();
+    f.set("benchmark", JsonValue::string(probe.benchmark));
+    log_.write("cache_miss", std::move(f));
+  }
+
   // Lock-free backpressure: reserve a queue slot on the atomic depth
   // counter before touching any shared state. Losing submitters back out
   // with kBusy without ever serialising on mutex_.
@@ -610,6 +678,15 @@ JsonValue JobServer::handle_stats() const {
   r.set("failed", JsonValue::number(s.failed));
   r.set("timed_out", JsonValue::number(s.timed_out));
   r.set("batches", JsonValue::number(s.batches));
+  r.set("cache_hits", JsonValue::number(s.cache_hits));
+  r.set("cache_misses", JsonValue::number(s.cache_misses));
+  r.set("cache_stores", JsonValue::number(s.cache_stores));
+  if (cache_) {
+    r.set("store_entries",
+          JsonValue::number(u64{cache_->result_store().size()}));
+    r.set("store_bytes",
+          JsonValue::number(cache_->result_store().disk_bytes()));
+  }
   r.set("registered_traces", JsonValue::number(u64{registry_.size()}));
   r.set("access_log_rotated", JsonValue::number(log_.rotated()));
   return r;

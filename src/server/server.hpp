@@ -42,6 +42,7 @@
 #include "server/socket.hpp"
 #include "server/wire.hpp"
 #include "sim/sweep.hpp"
+#include "store/sweep_cache.hpp"
 
 namespace aeep::server {
 
@@ -57,6 +58,10 @@ struct ServerConfig {
   std::string trace_dir;             ///< scanned into the trace registry
   std::string access_log_path;       ///< empty = no access log; "-" = stderr
   u64 access_log_max_bytes = 0;      ///< rotate to .1 past this; 0 = never
+  /// Result-store directory (store::SweepCache). Empty = no cache. A
+  /// submit whose job digest hits the store is answered terminal-kDone
+  /// without ever touching the sweep pool.
+  std::string store_dir;
 };
 
 enum class JobState { kQueued, kRunning, kDone, kFailed, kTimeout };
@@ -74,6 +79,9 @@ struct ServerStats {
   u64 failed = 0;
   u64 timed_out = 0;
   u64 batches = 0;            ///< SweepRunner dispatches
+  u64 cache_hits = 0;         ///< submits answered straight from the store
+  u64 cache_misses = 0;       ///< submits that had to run (store enabled)
+  u64 cache_stores = 0;       ///< completed results written to the store
   std::size_t queued = 0;     ///< gauge at snapshot time
   std::size_t running = 0;    ///< gauge at snapshot time
 };
@@ -168,6 +176,10 @@ class JobServer {
   AccessLog log_;
   std::unique_ptr<Listener> listener_;
   std::unique_ptr<sim::SweepRunner> runner_;
+  /// Created by start() when config.store_dir is set. Internally locked;
+  /// never touched while holding mutex_ (cache lookups happen before the
+  /// job table is locked, inserts after it is released).
+  std::unique_ptr<store::SweepCache> cache_;
 
   mutable aeep::Mutex mutex_;
   aeep::CondVar cv_dispatch_;  ///< queue gained work / draining

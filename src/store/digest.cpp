@@ -1,0 +1,99 @@
+#include "store/digest.hpp"
+
+#include "common/crc64.hpp"
+#include "fault/injector.hpp"
+#include "protect/protected_l2.hpp"
+#include "protect/recovery.hpp"
+#include "trace/error.hpp"
+#include "trace/io.hpp"
+
+namespace aeep::store {
+
+std::string Digest::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i)
+    out[static_cast<std::size_t>(i)] =
+        digits[(value >> (60 - 4 * i)) & 0xF];
+  return out;
+}
+
+std::optional<Digest> Digest::from_hex(const std::string& s) {
+  if (s.size() != 16) return std::nullopt;
+  u64 v = 0;
+  for (const char c : s) {
+    u64 nibble = 0;
+    if (c >= '0' && c <= '9') nibble = static_cast<u64>(c - '0');
+    else if (c >= 'a' && c <= 'f') nibble = static_cast<u64>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') nibble = static_cast<u64>(c - 'A' + 10);
+    else return std::nullopt;
+    v = (v << 4) | nibble;
+  }
+  return Digest{v};
+}
+
+JsonValue canonical_job_json(const std::string& benchmark,
+                             const sim::ExperimentOptions& opts,
+                             u64 trace_crc64) {
+  JsonValue j = JsonValue::object();
+  j.set("v", JsonValue::number(u64{1}));
+  j.set("benchmark", JsonValue::string(benchmark));
+  j.set("scheme", JsonValue::string(protect::to_string(opts.scheme)));
+  j.set("cleaning_interval", JsonValue::number(opts.cleaning_interval));
+  j.set("cleaning_policy",
+        JsonValue::string(protect::to_string(opts.cleaning_policy)));
+  j.set("decay_threshold", JsonValue::number(u64{opts.decay_threshold}));
+  j.set("ecc_entries_per_set",
+        JsonValue::number(u64{opts.ecc_entries_per_set}));
+  j.set("instructions", JsonValue::number(opts.instructions));
+  j.set("warmup_instructions", JsonValue::number(opts.warmup_instructions));
+  j.set("seed", JsonValue::number(opts.seed));
+  j.set("maintain_codes", JsonValue::boolean(opts.maintain_codes));
+  j.set("frontend", JsonValue::string(sim::to_string(opts.frontend)));
+  if (opts.frontend == sim::Frontend::kTrace)
+    j.set("trace_crc64", JsonValue::string(Digest{trace_crc64}.hex()));
+  j.set("strikes_enabled", JsonValue::boolean(opts.strikes_enabled));
+  j.set("strike_lambda", JsonValue::number(opts.strike_lambda));
+  j.set("strike_rate_scale", JsonValue::number(opts.strike_rate_scale));
+  j.set("strike_double_bit_fraction",
+        JsonValue::number(opts.strike_double_bit_fraction));
+  JsonValue faults = JsonValue::array();
+  for (const fault::StuckFault& f : opts.stuck_faults) {
+    JsonValue fj = JsonValue::object();
+    fj.set("target", JsonValue::string(fault::to_string(f.target)));
+    fj.set("set", JsonValue::number(f.set));
+    fj.set("way", JsonValue::number(u64{f.way}));
+    fj.set("bit", JsonValue::number(f.bit));
+    fj.set("stuck_high", JsonValue::boolean(f.stuck_high));
+    fj.set("start", JsonValue::number(f.start));
+    fj.set("period", JsonValue::number(f.period));
+    faults.push(std::move(fj));
+  }
+  j.set("stuck_faults", std::move(faults));
+  j.set("due_policy", JsonValue::string(protect::to_string(opts.due_policy)));
+  j.set("retirement_threshold",
+        JsonValue::number(u64{opts.retirement_threshold}));
+  j.set("max_refetch_retries",
+        JsonValue::number(u64{opts.max_refetch_retries}));
+  return j;
+}
+
+std::optional<Digest> job_digest(const std::string& benchmark,
+                                 const sim::ExperimentOptions& opts) {
+  if (!opts.capture_path.empty()) return std::nullopt;
+  u64 trace_crc = 0;
+  if (opts.frontend == sim::Frontend::kTrace) {
+    try {
+      trace_crc = trace::file_digest(sim::trace_path_for(benchmark, opts));
+    } catch (const trace::TraceError&) {
+      return std::nullopt;  // unreadable trace: let the real run report it
+    } catch (const std::exception&) {
+      return std::nullopt;  // unresolvable path (no trace_dir/trace_path)
+    }
+  }
+  const std::string canon =
+      canonical_job_json(benchmark, opts, trace_crc).dump(0);
+  return Digest{crc64(canon)};
+}
+
+}  // namespace aeep::store

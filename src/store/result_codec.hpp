@@ -1,0 +1,26 @@
+// Lossless RunResult <-> JSON codec for the result store.
+//
+// sim::run_result_json renders the canonical *metrics* view — the handful
+// of derived numbers benches and the wire expose — but a cache hit must
+// reproduce the full RunResult bit-for-bit (the server replays it through
+// the same result_reply path a fresh simulation would take, and the sweep
+// determinism tests compare with operator==). This codec therefore maps
+// every field of RunResult and its nested stats structs; doubles render
+// with %.17g (common/json.hpp) so decode(encode(r)) == r exactly.
+#pragma once
+
+#include <optional>
+
+#include "common/json.hpp"
+#include "sim/system.hpp"
+
+namespace aeep::store {
+
+JsonValue run_result_to_json(const sim::RunResult& r);
+
+/// Inverse. nullopt when `j` is not a run_result_to_json document (wrong
+/// shape or codec version) — callers treat that as a cache miss, never an
+/// error, so a store written by a future codec degrades to cold.
+std::optional<sim::RunResult> run_result_from_json(const JsonValue& j);
+
+}  // namespace aeep::store

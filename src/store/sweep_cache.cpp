@@ -1,0 +1,169 @@
+#include "store/sweep_cache.hpp"
+
+#include <utility>
+
+#include "sim/result_json.hpp"
+#include "store/result_codec.hpp"
+
+namespace aeep::store {
+
+namespace {
+constexpr u64 kPayloadVersion = 1;
+}  // namespace
+
+SweepCache::SweepCache(StoreConfig config) : store_(std::move(config)) {}
+
+std::optional<sim::RunResult> SweepCache::lookup_result(
+    const sim::SweepJob& job) {
+  const std::optional<Digest> key = job_digest(job);
+  if (!key) {
+    const MutexLock lock(mutex_);
+    ++stats_.uncacheable;
+    return std::nullopt;
+  }
+  const std::optional<JsonValue> payload = store_.lookup(*key);
+  if (payload && payload->get_u64("v") == kPayloadVersion) {
+    if (const JsonValue* full = payload->find("full")) {
+      if (std::optional<sim::RunResult> r = run_result_from_json(*full)) {
+        const MutexLock lock(mutex_);
+        ++stats_.hits;
+        return r;
+      }
+    }
+  }
+  const MutexLock lock(mutex_);
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+std::optional<JsonValue> SweepCache::lookup_metrics(const sim::SweepJob& job) {
+  const std::optional<Digest> key = job_digest(job);
+  if (!key) {
+    const MutexLock lock(mutex_);
+    ++stats_.uncacheable;
+    return std::nullopt;
+  }
+  const std::optional<JsonValue> payload = store_.lookup(*key);
+  if (payload && payload->get_u64("v") == kPayloadVersion) {
+    if (const JsonValue* metrics = payload->find("metrics")) {
+      if (metrics->is_object()) {
+        const MutexLock lock(mutex_);
+        ++stats_.hits;
+        return *metrics;
+      }
+    }
+  }
+  const MutexLock lock(mutex_);
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void SweepCache::insert(const sim::SweepJob& job, const sim::RunResult& result) {
+  const std::optional<Digest> key = job_digest(job);
+  if (!key) {
+    const MutexLock lock(mutex_);
+    ++stats_.uncacheable;
+    return;
+  }
+  JsonValue payload = JsonValue::object();
+  payload.set("v", JsonValue::number(kPayloadVersion));
+  payload.set("benchmark", JsonValue::string(job.benchmark));
+  payload.set("metrics", sim::run_result_json(result));
+  payload.set("full", run_result_to_json(result));
+  store_.insert(*key, payload);
+  const MutexLock lock(mutex_);
+  ++stats_.inserts;
+}
+
+void SweepCache::insert_metrics(const sim::SweepJob& job,
+                                const JsonValue& metrics) {
+  const std::optional<Digest> key = job_digest(job);
+  if (!key) {
+    const MutexLock lock(mutex_);
+    ++stats_.uncacheable;
+    return;
+  }
+  JsonValue payload = JsonValue::object();
+  payload.set("v", JsonValue::number(kPayloadVersion));
+  payload.set("benchmark", JsonValue::string(job.benchmark));
+  payload.set("metrics", metrics);
+  store_.insert(*key, payload);
+  const MutexLock lock(mutex_);
+  ++stats_.inserts;
+}
+
+SweepCacheStats SweepCache::stats() const {
+  const MutexLock lock(mutex_);
+  return stats_;
+}
+
+void SweepCache::reset_stats() {
+  const MutexLock lock(mutex_);
+  stats_ = SweepCacheStats{};
+}
+
+std::vector<sim::RunResult> run_grid_cached(
+    const sim::SweepRunner& runner, const std::vector<sim::SweepJob>& grid,
+    SweepCache* cache, const sim::SweepRunner::ProgressFn& progress,
+    std::vector<double>* wall_seconds) {
+  if (!cache) return runner.run_or_throw(grid, progress, wall_seconds);
+
+  const std::size_t n = grid.size();
+  std::vector<sim::RunResult> out(n);
+  if (wall_seconds) wall_seconds->assign(n, 0.0);
+
+  std::vector<std::size_t> miss_indices;
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::optional<sim::RunResult> hit = cache->lookup_result(grid[i]);
+    if (!hit) {
+      miss_indices.push_back(i);
+      continue;
+    }
+    out[i] = std::move(*hit);
+    ++completed;
+    if (progress) {
+      sim::SweepOutcome outcome;
+      outcome.result = out[i];
+      sim::SweepProgress p;
+      p.completed = completed;
+      p.total = n;
+      p.job_index = i;
+      p.job = &grid[i];
+      p.outcome = &outcome;
+      progress(p);
+    }
+  }
+  if (miss_indices.empty()) return out;
+
+  std::vector<sim::SweepJob> miss_grid;
+  miss_grid.reserve(miss_indices.size());
+  for (const std::size_t i : miss_indices) miss_grid.push_back(grid[i]);
+
+  // Re-base the runner's progress events onto the full grid: completed
+  // continues from the hit count, job_index maps back to the caller's grid.
+  sim::SweepRunner::ProgressFn wrapped;
+  if (progress) {
+    const std::size_t hits = completed;
+    wrapped = [&, hits](const sim::SweepProgress& p) {
+      sim::SweepProgress q = p;
+      q.completed = hits + p.completed;
+      q.total = n;
+      q.job_index = miss_indices[p.job_index];
+      progress(q);
+    };
+  }
+
+  std::vector<double> miss_walls;
+  const std::vector<sim::RunResult> miss_results = runner.run_or_throw(
+      miss_grid, wrapped, wall_seconds ? &miss_walls : nullptr);
+  for (std::size_t k = 0; k < miss_indices.size(); ++k) {
+    const std::size_t i = miss_indices[k];
+    out[i] = miss_results[k];
+    if (wall_seconds) (*wall_seconds)[i] = miss_walls[k];
+    cache->insert(grid[i], miss_results[k]);
+  }
+  return out;
+}
+
+}  // namespace aeep::store

@@ -2,6 +2,10 @@
 
 #include <array>
 #include <cstring>
+#include <map>
+
+#include "common/crc64.hpp"
+#include "common/mutex.hpp"
 
 namespace aeep::trace {
 
@@ -49,8 +53,8 @@ u32 crc32(const u8* data, std::size_t n) {
   return c ^ 0xFFFFFFFFu;
 }
 
-FileWriter::FileWriter(const std::string& path)
-    : path_(path), file_(std::fopen(path.c_str(), "wb")) {
+FileWriter::FileWriter(const std::string& path, bool append)
+    : path_(path), file_(std::fopen(path.c_str(), append ? "ab" : "wb")) {
   if (!file_)
     throw TraceError(TraceErrorKind::kIo, "cannot open for writing: " + path);
 }
@@ -76,6 +80,13 @@ void FileWriter::write_u32(u32 v) {
   const u8 b[4] = {static_cast<u8>(v), static_cast<u8>(v >> 8),
                    static_cast<u8>(v >> 16), static_cast<u8>(v >> 24)};
   write_bytes(b, 4);
+}
+
+void FileWriter::flush() {
+  if (!file_)
+    throw TraceError(TraceErrorKind::kIo, "flush after close: " + path_);
+  if (std::fflush(file_) != 0)
+    throw TraceError(TraceErrorKind::kIo, "flush failed: " + path_);
 }
 
 void FileWriter::close() {
@@ -120,6 +131,66 @@ bool FileReader::at_eof() {
   if (c == EOF) return true;
   std::ungetc(c, file_);
   return false;
+}
+
+u64 FileReader::size() {
+  if (size_known_) return size_;
+  const long here = std::ftell(file_);
+  if (here < 0 || std::fseek(file_, 0, SEEK_END) != 0)
+    throw TraceError(TraceErrorKind::kIo, "cannot seek: " + path_);
+  const long end = std::ftell(file_);
+  if (end < 0 || std::fseek(file_, here, SEEK_SET) != 0)
+    throw TraceError(TraceErrorKind::kIo, "cannot seek: " + path_);
+  size_ = static_cast<u64>(end);
+  size_known_ = true;
+  return size_;
+}
+
+u64 FileReader::tell() {
+  const long here = std::ftell(file_);
+  if (here < 0)
+    throw TraceError(TraceErrorKind::kIo, "cannot tell: " + path_);
+  return static_cast<u64>(here);
+}
+
+void FileReader::seek(u64 offset) {
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0)
+    throw TraceError(TraceErrorKind::kIo, "cannot seek: " + path_);
+  std::clearerr(file_);
+}
+
+u64 FileReader::whole_file_digest() {
+  if (digest_known_) return digest_;
+  const u64 here = tell();
+  seek(0);
+  Crc64 crc;
+  std::array<u8, 65536> buf;
+  std::size_t got = 0;
+  while ((got = std::fread(buf.data(), 1, buf.size(), file_)) > 0)
+    crc.update(buf.data(), got);
+  if (std::ferror(file_))
+    throw TraceError(TraceErrorKind::kIo, "read failed: " + path_);
+  seek(here);
+  digest_ = crc.value();
+  digest_known_ = true;
+  return digest_;
+}
+
+u64 file_digest(const std::string& path) {
+  static aeep::Mutex mu;
+  static std::map<std::string, u64> memo;
+  {
+    const MutexLock lock(mu);
+    const auto it = memo.find(path);
+    if (it != memo.end()) return it->second;
+  }
+  // Digest outside the lock: two threads may race to digest the same path,
+  // but both compute the same value, so the second insert is a no-op.
+  FileReader reader(path);
+  const u64 digest = reader.whole_file_digest();
+  const MutexLock lock(mu);
+  memo.emplace(path, digest);
+  return digest;
 }
 
 }  // namespace aeep::trace

@@ -45,7 +45,10 @@ inline u32 crc32(const std::vector<u8>& v) { return crc32(v.data(), v.size()); }
 /// Write-only binary file; every write is verified complete.
 class FileWriter {
  public:
-  explicit FileWriter(const std::string& path);
+  /// `append` opens in "ab" mode — the result store's segment file grows
+  /// record by record across process lifetimes; truncating it on open
+  /// would throw the cache away.
+  explicit FileWriter(const std::string& path, bool append = false);
   ~FileWriter();
 
   FileWriter(const FileWriter&) = delete;
@@ -54,6 +57,10 @@ class FileWriter {
   void write_bytes(const void* data, std::size_t n);
   void write_u8(u8 v);
   void write_u32(u32 v);  ///< little-endian
+
+  /// Push buffered bytes to the OS so a reader opening (or seeking) the
+  /// same path observes everything written so far. Throws on I/O error.
+  void flush();
 
   /// Flush and close; further writes are a logic error. Safe to call twice.
   void close();
@@ -85,11 +92,36 @@ class FileReader {
   /// True iff the next read would hit end-of-file.
   bool at_eof();
 
+  /// Total file size in bytes (cached on first call).
+  u64 size();
+
+  /// Current read offset from the start of the file.
+  u64 tell();
+
+  /// Reposition to an absolute byte offset (clears a sticky EOF).
+  void seek(u64 offset);
+
+  /// CRC64 of the entire file contents, computed once per FileReader and
+  /// cached — ReplayDriver, validate and the result store all need the
+  /// same digest and must not each re-read the trace to get it. The read
+  /// position is preserved across the call.
+  u64 whole_file_digest();
+
   const std::string& path() const { return path_; }
 
  private:
   std::string path_;
   std::FILE* file_;
+  bool size_known_ = false;
+  u64 size_ = 0;
+  bool digest_known_ = false;
+  u64 digest_ = 0;
 };
+
+/// Process-wide memoised whole-file CRC64. Trace files are immutable
+/// inputs, so one digest per path per process is sound; a path whose
+/// contents change mid-run (nothing in the tree does that) would need a
+/// fresh FileReader::whole_file_digest() instead.
+u64 file_digest(const std::string& path);
 
 }  // namespace aeep::trace

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <cstdio>
 #include <sstream>
 
+#include "trace/io.hpp"
 #include "trace/replay.hpp"
 
 namespace aeep::trace {
@@ -90,11 +90,12 @@ ValidationReport cross_validate(const sim::SystemConfig& cfg,
   rep.exec_seconds = std::chrono::duration<double>(t1 - t0).count();
   rep.replay_seconds = std::chrono::duration<double>(t3 - t2).count();
   rep.trace_events = driver.events_replayed();
-  if (std::FILE* f = std::fopen(trace_path.c_str(), "rb")) {
-    std::fseek(f, 0, SEEK_END);
-    const long sz = std::ftell(f);
-    if (sz > 0) rep.trace_bytes = static_cast<u64>(sz);
-    std::fclose(f);
+  try {
+    FileReader trace_file(trace_path);
+    rep.trace_bytes = trace_file.size();
+  } catch (const TraceError&) {
+    // Size is informational; a vanished trace file does not fail validation
+    // (the replay above already read it).
   }
   rep.metrics = diff_metrics(exec_result, replay_result);
   rep.pass = std::all_of(rep.metrics.begin(), rep.metrics.end(),

@@ -523,6 +523,63 @@ TEST(Allow, DoesNotLeakPastOneLine) {
                     "raw-rand"));
 }
 
+// --- raw-fs-call -----------------------------------------------------------
+
+TEST(RawFsCall, FiresOnBareAndStdQualifiedCalls) {
+  EXPECT_TRUE(fired("src/server/x.cpp", "void f() { fopen(\"a\", \"r\"); }",
+                    "raw-fs-call"));
+  EXPECT_TRUE(fired("src/server/x.cpp",
+                    "void f() { std::rename(\"a\", \"b\"); }", "raw-fs-call"));
+  EXPECT_TRUE(fired("tools/x.cpp", "void f() { remove(p.c_str()); }",
+                    "raw-fs-call"));
+}
+
+TEST(RawFsCall, StoreTraceAndTestsAreExempt) {
+  const std::string src = "void f() { std::fopen(\"a\", \"r\"); }";
+  EXPECT_FALSE(fired("src/store/result_store.cpp", src, "raw-fs-call"));
+  EXPECT_FALSE(fired("src/trace/io.cpp", src, "raw-fs-call"));
+  EXPECT_FALSE(fired("tests/store_test.cpp", src, "raw-fs-call"));
+  EXPECT_TRUE(fired("src/server/x.cpp", src, "raw-fs-call"));
+}
+
+TEST(RawFsCall, MemberAndCheckedWrapperCallsAreQuiet) {
+  // Someone else's API, not the libc call.
+  EXPECT_FALSE(fired("src/server/x.cpp", "void f() { log_.open(path); }",
+                     "raw-fs-call"));
+  // std::filesystem::rename is the checked wrapper the store itself uses.
+  EXPECT_FALSE(fired("src/server/x.cpp",
+                     "void f() { std::filesystem::rename(a, b, ec); }",
+                     "raw-fs-call"));
+  // A declaration, not a call.
+  EXPECT_FALSE(fired("src/server/x.hpp", "struct L { void open(int fd); };",
+                     "raw-fs-call"));
+}
+
+TEST(RawFsCall, AlgorithmStdRemoveFiresAndNeedsAllowComment) {
+  // Token-wise the algorithm std::remove is the libc file call; the
+  // erase-remove idiom therefore needs an allow comment (the tree uses
+  // std::erase / explicit loops instead, so none exist today).
+  EXPECT_TRUE(fired("src/server/x.cpp",
+                    "void f(std::vector<int>& v) {\n"
+                    "  v.erase(std::remove(v.begin(), v.end(), 3), v.end());\n"
+                    "}",
+                    "raw-fs-call"));
+}
+
+TEST(RawFsCall, AllowCommentSuppresses) {
+  EXPECT_FALSE(fired(
+      "src/server/x.cpp",
+      "FILE* f = std::fopen(p, \"w\");  // aeep-lint: allow(raw-fs-call)",
+      "raw-fs-call"));
+}
+
+TEST(RawFsCall, GrepFalsePositiveInCommentOrStringIsQuiet) {
+  EXPECT_FALSE(fired("src/server/x.cpp",
+                     "// fopen(\"x\") would be wrong here\n"
+                     "const char* kMsg = \"rename (file) failed\";\n",
+                     "raw-fs-call"));
+}
+
 // --- reporting surface -----------------------------------------------------
 
 TEST(Report, FormatFindingIsFileLineRuleMessage) {
@@ -532,7 +589,7 @@ TEST(Report, FormatFindingIsFileLineRuleMessage) {
 
 TEST(Report, CatalogNamesAreUniqueAndNonEmpty) {
   const auto& catalog = rule_catalog();
-  EXPECT_EQ(catalog.size(), 11u);
+  EXPECT_EQ(catalog.size(), 12u);
   std::vector<std::string> names;
   for (const auto& r : catalog) {
     EXPECT_FALSE(r.name.empty());

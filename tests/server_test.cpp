@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -197,6 +198,54 @@ TEST(JobServer, PingSubmitStatusResultLifecycle) {
   EXPECT_EQ(stats.submitted, 1u);
   EXPECT_EQ(stats.completed, 1u);
   EXPECT_EQ(stats.failed, 0u);
+  served.drain();
+}
+
+TEST(JobServer, ResubmittedJobIsServedFromTheResultStore) {
+  const std::string store_dir =
+      testing::TempDir() + "aeep_server_test_store";
+  std::filesystem::remove_all(store_dir);
+
+  ServerConfig cfg;
+  cfg.port = 0;
+  cfg.workers = 1;
+  cfg.store_dir = store_dir;
+  JobServer served(cfg);
+  served.start();
+  Client client("127.0.0.1", served.port());
+
+  const u64 first = client.submit(small_exec_job());
+  const JsonValue cold = client.result(first, /*wait=*/true, 60'000);
+  EXPECT_EQ(cold.get_string("state"), "done");
+  // The store insert happens after the job is observable as done (it runs
+  // outside the server mutex); wait for the counter before resubmitting.
+  for (int i = 0; i < 200 && served.stats().cache_stores == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_EQ(served.stats().cache_stores, 1u);
+
+  // Same spec again: answered from the store, born terminal — no queue
+  // time, no worker dispatch, and bit-identical metrics.
+  const u64 second = client.submit(small_exec_job());
+  EXPECT_NE(second, first);
+  const JsonValue warm = client.result(second, /*wait=*/false);
+  EXPECT_TRUE(warm.get_bool("ready"));
+  EXPECT_EQ(warm.get_string("state"), "done");
+  ASSERT_NE(warm.find("metrics"), nullptr);
+  ASSERT_NE(cold.find("metrics"), nullptr);
+  EXPECT_EQ(warm.find("metrics")->dump(0), cold.find("metrics")->dump(0));
+
+  const ServerStats stats = served.stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_stores, 1u);
+  EXPECT_EQ(stats.completed, 2u);  // a cache hit still counts as completed
+
+  // The wire stats reply exposes the same counters plus the store gauges.
+  const JsonValue wire = client.stats();
+  EXPECT_EQ(wire.get_u64("cache_hits"), 1u);
+  EXPECT_EQ(wire.get_u64("cache_misses"), 1u);
+  EXPECT_EQ(wire.get_u64("store_entries"), 1u);
+  EXPECT_GT(wire.get_u64("store_bytes"), 0u);
   served.drain();
 }
 

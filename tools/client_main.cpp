@@ -16,6 +16,12 @@
 // uses). A server that stays unreachable exits 6 with a plain-language
 // message, not a raw errno.
 //
+// Output flags (any reply-printing command): --field=a.b.c extracts one
+// value from the reply JSON by dot-path and prints it raw (strings
+// unquoted, so `--field=metrics.ipc` or `--field=state` drop straight
+// into shell variables; a missing path exits 4); --quiet suppresses the
+// reply entirely — the exit code is the answer.
+//
 // Job flags: --benchmark=gzip --frontend=exec|trace --scheme=uniform-ecc|
 // non-uniform|shared-ecc-array --cleaning-policy=written-bit|naive|
 // decay-counter|eager-idle --interval=N --decay-threshold=N --entries=N
@@ -48,7 +54,8 @@ int usage() {
       "  submit/run job flags: --benchmark --frontend=exec|trace --scheme "
       "--cleaning-policy --interval --decay-threshold --entries "
       "--instructions --warmup --seed --maintain-codes --trace --timeout-ms\n"
-      "  status/result: --job=N [--wait-ms=MS]   run: [--json=FILE]\n");
+      "  status/result: --job=N [--wait-ms=MS]   run: [--json=FILE]\n"
+      "  output: --field=a.b.c (print one reply value, raw) --quiet\n");
   return 2;
 }
 
@@ -117,11 +124,51 @@ server::JobSpec parse_job(const CliArgs& args) {
   return spec;
 }
 
-void print_reply(const JsonValue& reply) {
-  std::printf("%s\n", reply.dump(2).c_str());
+/// How replies reach stdout: full pretty JSON (default), one dot-path
+/// extracted value (--field), or nothing at all (--quiet).
+struct OutputOptions {
+  bool quiet = false;
+  std::string field;
+};
+
+/// Walk `root` down a dot-separated key path ("metrics.ipc"). nullptr when
+/// any hop is missing or a non-object is descended into.
+const JsonValue* descend(const JsonValue& root, const std::string& path) {
+  const JsonValue* cur = &root;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t dot = path.find('.', start);
+    const std::string key =
+        path.substr(start, dot == std::string::npos ? std::string::npos
+                                                    : dot - start);
+    if (key.empty() || !cur->is_object()) return nullptr;
+    cur = cur->find(key);
+    if (!cur) return nullptr;
+    if (dot == std::string::npos) return cur;
+    start = dot + 1;
+  }
 }
 
-int run_command(server::Client& client, const CliArgs& args) {
+int print_reply(const JsonValue& reply, const OutputOptions& out) {
+  if (!out.field.empty()) {
+    const JsonValue* v = descend(reply, out.field);
+    if (!v) {
+      std::fprintf(stderr, "aeep_client: reply has no field '%s'\n",
+                   out.field.c_str());
+      return 4;
+    }
+    // Strings print raw (no quotes) so values drop into shell variables;
+    // everything else prints as compact JSON.
+    if (v->is_string()) std::printf("%s\n", v->as_string().c_str());
+    else std::printf("%s\n", v->dump(0).c_str());
+    return 0;
+  }
+  if (!out.quiet) std::printf("%s\n", reply.dump(2).c_str());
+  return 0;
+}
+
+int run_command(server::Client& client, const CliArgs& args,
+                const OutputOptions& out) {
   const server::JobSpec spec = parse_job(args);
   const std::string json_path = args.get("json", "");
   check_flags(args);
@@ -142,8 +189,7 @@ int run_command(server::Client& client, const CliArgs& args) {
     reporter.add_cell(spec.benchmark, "server", *metrics);
     if (!reporter.write(json_path)) return 1;
   }
-  print_reply(reply);
-  return 0;
+  return print_reply(reply, out);
 }
 
 }  // namespace
@@ -161,40 +207,44 @@ int main(int argc, char** argv) {
   const unsigned retries =
       static_cast<unsigned>(args.get_u64("retries", 0));
   const u64 backoff_ms = args.get_u64("backoff-ms", 100);
+  OutputOptions out;
+  out.quiet = args.get_bool("quiet", false);
+  out.field = args.get("field", "");
   try {
     server::Client client = connect_or_exit(host, port, retries, backoff_ms);
     if (cmd == "ping") {
       check_flags(args);
-      print_reply(client.ping());
+      return print_reply(client.ping(), out);
     } else if (cmd == "traces") {
       check_flags(args);
       for (const auto& name : client.traces())
         std::printf("%s\n", name.c_str());
     } else if (cmd == "stats") {
       check_flags(args);
-      print_reply(client.stats());
+      return print_reply(client.stats(), out);
     } else if (cmd == "health") {
       check_flags(args);
-      print_reply(client.health());
+      return print_reply(client.health(), out);
     } else if (cmd == "drain") {
       check_flags(args);
-      print_reply(client.drain());
+      return print_reply(client.drain(), out);
     } else if (cmd == "submit") {
       const server::JobSpec spec = parse_job(args);
       check_flags(args);
       const u64 id = client.submit(spec);
-      std::printf("job %llu queued\n", static_cast<unsigned long long>(id));
+      if (!out.quiet)
+        std::printf("job %llu queued\n", static_cast<unsigned long long>(id));
     } else if (cmd == "status") {
       const u64 id = args.get_u64("job", 0);
       check_flags(args);
-      print_reply(client.status(id));
+      return print_reply(client.status(id), out);
     } else if (cmd == "result") {
       const u64 id = args.get_u64("job", 0);
       const u64 wait_ms = args.get_u64("wait-ms", 60'000);
       check_flags(args);
-      print_reply(client.result(id, /*wait=*/true, wait_ms));
+      return print_reply(client.result(id, /*wait=*/true, wait_ms), out);
     } else if (cmd == "run") {
-      return run_command(client, args);
+      return run_command(client, args, out);
     } else {
       return usage();
     }

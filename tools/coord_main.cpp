@@ -19,6 +19,11 @@
 //   --batch-size --call-timeout-ms --job-wait-ms --straggler-factor
 //   --straggler-min-ms --min-fleet --no-local-fallback --backoff-base-ms
 //   --probe-timeout-ms --local-jobs
+// Store: --store=DIR consults the content-addressed result store before
+//   running (both modes); a cell whose digest hits is served from cache
+//   with zero simulation work, and computed cells are inserted for the
+//   next run. The reporter config records store_hits/store_misses — the
+//   CI store-smoke gate asserts a repeated sweep is 100% hits.
 // Output: --json=FILE (bench schema v1, cells in grid order),
 //   --retirement-log=FILE (one JSON object per retired worker).
 // Exit codes: 0 every cell computed, 2 usage, 1 any cell failed.
@@ -31,6 +36,7 @@
 #include "fabric/coordinator.hpp"
 #include "json_reporter.hpp"
 #include "sim/result_json.hpp"
+#include "store/sweep_cache.hpp"
 
 using namespace aeep;
 
@@ -79,7 +85,8 @@ std::vector<sim::SweepJob> build_grid(const bench::CommonOptions& o) {
 bool write_retirement_log(const std::string& path,
                           const std::vector<fabric::RetirementRecord>& log) {
   if (path.empty()) return true;
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  // Line-oriented report, overwritten whole each run — not store data.
+  std::FILE* f = std::fopen(path.c_str(), "w");  // aeep-lint: allow(raw-fs-call)
   if (!f) {
     std::fprintf(stderr, "aeep_coord: cannot write %s\n", path.c_str());
     return false;
@@ -128,6 +135,8 @@ int main(int argc, char** argv) {
   cfg.probe_timeout_ms =
       args.get_u64("probe-timeout-ms", cfg.probe_timeout_ms);
   cfg.local_jobs = static_cast<unsigned>(args.get_u64("local-jobs", o.jobs));
+  const std::string store_dir = args.get("store", "");
+  cfg.store_dir = store_dir;
   bench::reject_unknown_flags(args);
 
   if (!local_only && workers_list.empty()) {
@@ -155,23 +164,86 @@ int main(int argc, char** argv) {
 
   bool any_failed = false;
   if (local_only) {
-    const sim::SweepRunner runner(o.jobs);
-    const auto outcomes = runner.run(grid, sim::stderr_progress());
-    for (std::size_t i = 0; i < grid.size(); ++i) {
-      if (!outcomes[i].ok()) {
-        any_failed = true;
-        std::fprintf(stderr, "aeep_coord: cell %s:%s failed: %s\n",
-                     grid[i].benchmark.c_str(), grid[i].tag.c_str(),
-                     outcomes[i].error.c_str());
-        continue;
+    std::unique_ptr<store::SweepCache> cache;
+    if (!store_dir.empty()) {
+      try {
+        cache = std::make_unique<store::SweepCache>(
+            store::StoreConfig{store_dir, 4096});
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "aeep_coord: cannot open store: %s\n", e.what());
+        return 1;
       }
+    }
+
+    // Serve what the store already knows, then run only the misses; a
+    // cached cell renders through the same sim::run_result_json as a
+    // fresh one, so a warm re-run's --json cells are byte-identical.
+    const sim::SweepRunner runner(o.jobs);
+    std::vector<sim::RunResult> results(grid.size());
+    std::vector<char> have(grid.size(), 0);
+    std::vector<std::size_t> miss_idx;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (cache) {
+        if (std::optional<sim::RunResult> hit = cache->lookup_result(grid[i])) {
+          results[i] = std::move(*hit);
+          have[i] = 1;
+          std::fprintf(stderr, "[%zu/%zu] %s:%s <- store\n",
+                       i - miss_idx.size() + 1, grid.size(),
+                       grid[i].benchmark.c_str(), grid[i].tag.c_str());
+          continue;
+        }
+      }
+      miss_idx.push_back(i);
+    }
+    const std::size_t store_hits = grid.size() - miss_idx.size();
+    if (!miss_idx.empty()) {
+      std::vector<sim::SweepJob> miss_grid;
+      miss_grid.reserve(miss_idx.size());
+      for (const std::size_t i : miss_idx) miss_grid.push_back(grid[i]);
+      const auto base_progress = sim::stderr_progress();
+      const auto outcomes =
+          runner.run(miss_grid, [&](const sim::SweepProgress& p) {
+            sim::SweepProgress q = p;
+            q.completed = store_hits + p.completed;
+            q.total = grid.size();
+            base_progress(q);
+          });
+      for (std::size_t k = 0; k < miss_idx.size(); ++k) {
+        const std::size_t i = miss_idx[k];
+        if (!outcomes[k].ok()) {
+          any_failed = true;
+          std::fprintf(stderr, "aeep_coord: cell %s:%s failed: %s\n",
+                       grid[i].benchmark.c_str(), grid[i].tag.c_str(),
+                       outcomes[k].error.c_str());
+          continue;
+        }
+        results[i] = outcomes[k].result;
+        have[i] = 1;
+        if (cache) cache->insert(grid[i], outcomes[k].result);
+      }
+    }
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (!have[i]) continue;
       reporter.add_cell(grid[i].benchmark, grid[i].tag,
-                        sim::run_result_json(outcomes[i].result));
+                        sim::run_result_json(results[i]));
+    }
+    if (cache) {
+      reporter.set_config("store_hits", JsonValue::number(u64{store_hits}));
+      reporter.set_config("store_misses",
+                          JsonValue::number(u64{miss_idx.size()}));
+      std::fprintf(stderr, "aeep_coord: store hits=%zu misses=%zu (%s)\n",
+                   store_hits, miss_idx.size(), store_dir.c_str());
     }
   } else {
-    fabric::Coordinator coord(std::move(cfg));
+    std::unique_ptr<fabric::Coordinator> coord;
+    try {
+      coord = std::make_unique<fabric::Coordinator>(std::move(cfg));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "aeep_coord: cannot open store: %s\n", e.what());
+      return 1;
+    }
     const auto outcomes =
-        coord.run(grid, [](const fabric::FabricProgress& p) {
+        coord->run(grid, [](const fabric::FabricProgress& p) {
           std::fprintf(stderr, "[%zu/%zu] %s:%s <- %s%s\n", p.completed,
                        p.total, p.job->benchmark.c_str(), p.job->tag.c_str(),
                        p.outcome->ok() ? p.outcome->worker.c_str()
@@ -189,19 +261,25 @@ int main(int argc, char** argv) {
       reporter.add_cell(grid[i].benchmark, grid[i].tag, outcomes[i].metrics);
     }
 
-    const fabric::FabricStats s = coord.stats();
+    const fabric::FabricStats s = coord->stats();
     std::fprintf(stderr,
-                 "aeep_coord: remote=%llu local=%llu retries=%llu "
-                 "speculative=%llu duplicates=%llu worker_failures=%llu "
-                 "busy_backoffs=%llu\n",
+                 "aeep_coord: remote=%llu local=%llu cached=%llu "
+                 "retries=%llu speculative=%llu duplicates=%llu "
+                 "worker_failures=%llu busy_backoffs=%llu\n",
                  static_cast<unsigned long long>(s.jobs_remote),
                  static_cast<unsigned long long>(s.jobs_local),
+                 static_cast<unsigned long long>(s.jobs_cached),
                  static_cast<unsigned long long>(s.retries),
                  static_cast<unsigned long long>(s.speculative_dispatches),
                  static_cast<unsigned long long>(s.duplicates_discarded),
                  static_cast<unsigned long long>(s.worker_failures),
                  static_cast<unsigned long long>(s.busy_backoffs));
-    const auto retirement_log = coord.registry().retirement_log();
+    if (!store_dir.empty()) {
+      reporter.set_config("store_hits", JsonValue::number(s.jobs_cached));
+      reporter.set_config("store_misses",
+                          JsonValue::number(u64{grid.size()} - s.jobs_cached));
+    }
+    const auto retirement_log = coord->registry().retirement_log();
     for (const auto& rec : retirement_log)
       std::fprintf(stderr, "aeep_coord: retired %s after %u failure(s): %s\n",
                    rec.worker.c_str(), rec.consecutive_failures,

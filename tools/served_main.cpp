@@ -14,7 +14,9 @@
 // --max-connections, --timeout-ms (default per-job wall clock),
 // --retention (finished jobs kept queryable), --trace-dir (directory of
 // .aeept files clients may name), --access-log (file; "-" = stderr),
-// --access-log-max-bytes (rotate the log to .1 past this size; 0 = never).
+// --access-log-max-bytes (rotate the log to .1 past this size; 0 = never),
+// --store (result-store directory: submits whose content digest hits the
+// store are answered from cache without touching the sweep pool).
 #include <csignal>
 #include <cstdio>
 #include <thread>
@@ -51,6 +53,7 @@ int main(int argc, char** argv) {
   cfg.access_log_path = args.get("access-log", "");
   cfg.access_log_max_bytes =
       args.get_u64("access-log-max-bytes", cfg.access_log_max_bytes);
+  cfg.store_dir = args.get("store", "");
   const auto unused = args.unused();
   if (!unused.empty()) {
     std::fprintf(stderr, "unknown flag(s):");
@@ -66,6 +69,10 @@ int main(int argc, char** argv) {
   try {
     served.start();
   } catch (const server::ServerError& e) {
+    std::fprintf(stderr, "aeep_served: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // e.g. a corrupt --store segment (trace::TraceError)
     std::fprintf(stderr, "aeep_served: %s\n", e.what());
     return 1;
   }

@@ -19,6 +19,7 @@
 
 #include "common/cli.hpp"
 #include "sim/experiment.hpp"
+#include "trace/io.hpp"
 #include "trace/reader.hpp"
 #include "trace/replay.hpp"
 #include "trace/validate.hpp"
@@ -179,6 +180,10 @@ int cmd_info(const CliArgs& args) {
               static_cast<unsigned long long>(s.committed),
               static_cast<unsigned long long>(s.loads),
               static_cast<unsigned long long>(s.stores));
+  // The same whole-file CRC64 the result store folds into job digests, so
+  // "which trace produced this cache entry" is answerable from here.
+  std::printf("  digest   %016llx\n",
+              static_cast<unsigned long long>(trace::file_digest(path)));
   return 0;
 }
 
