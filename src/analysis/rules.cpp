@@ -20,6 +20,7 @@ constexpr const char* kThreadDetach = "thread-detach";
 constexpr const char* kNakedNew = "naked-new-delete";
 constexpr const char* kSleep = "sleep-in-src";
 constexpr const char* kHotQueue = "deque-in-hot-path";
+constexpr const char* kRawClock = "raw-clock";
 
 bool starts_with(const std::string& s, const std::string& prefix) {
   return s.rfind(prefix, 0) == 0;
@@ -431,6 +432,26 @@ void check_hot_queue(FileContext& ctx) {
   }
 }
 
+// --- rule: raw-clock -------------------------------------------------------
+// Ad-hoc std::chrono::steady_clock::now() timing in src/ outside
+// src/metrics: every latency measurement flows through metrics::now() /
+// us_between / ScopedTimer so the reading lands in a Histogram the fleet
+// can see, not in one call site's hand-rolled duration_cast. (The metrics
+// clock wrapper itself is the one sanctioned user.)
+void check_raw_clock(FileContext& ctx) {
+  const auto& code = ctx.code;
+  for (const Token& t : code) {
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text != "steady_clock" && t.text != "high_resolution_clock")
+      continue;
+    ctx.report(kRawClock, t.line,
+               "raw std::chrono::" + t.text +
+                   " in src/ is banned; time through metrics::now() / "
+                   "metrics::ScopedTimer so the measurement lands in a "
+                   "Histogram");
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rule_catalog() {
@@ -458,6 +479,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {kHotQueue,
        "no std::deque/std::queue under src/sim|src/server; use MpmcQueue "
        "or a dense SoA ring"},
+      {kRawClock,
+       "no std::chrono::steady_clock outside src/metrics; time through "
+       "metrics::now()/ScopedTimer"},
   };
   return catalog;
 }
@@ -493,6 +517,7 @@ std::vector<Finding> lint_file(const std::string& path,
   if (in_src) check_sleep(ctx);
   if (starts_with(path, "src/sim/") || starts_with(path, "src/server/"))
     check_hot_queue(ctx);
+  if (in_src && !starts_with(path, "src/metrics/")) check_raw_clock(ctx);
 
   return findings;
 }

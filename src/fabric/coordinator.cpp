@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "metrics/registry.hpp"
+#include "metrics/timer.hpp"
 #include "server/client.hpp"
 #include "server/wire.hpp"
 #include "sim/result_json.hpp"
@@ -10,12 +12,6 @@
 namespace aeep::fabric {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-}
 
 /// The wire embeds the human kind prefix in what(); strip it so a remote
 /// simulator failure reads like the local SweepOutcome error it mirrors.
@@ -60,6 +56,7 @@ std::size_t Coordinator::probe_fleet() {
     try {
       server::Client client(ep.host, ep.port);
       client.set_call_timeout_ms(static_cast<int>(config_.probe_timeout_ms));
+      if (!config_.token.empty()) client.set_token(config_.token);
       const JsonValue h = client.health();
       if (h.get_bool("draining", false)) {
         // A draining worker is leaving voluntarily: stop dispatching to it
@@ -181,7 +178,7 @@ std::vector<FabricOutcome> Coordinator::run(
 
 std::vector<std::size_t> Coordinator::claim_batch(RunState& rs) {
   std::vector<std::size_t> batch;
-  const auto now = Clock::now();
+  const auto now = metrics::now();
   const MutexLock lock(mutex_);
   while (!rs.pending.empty() && batch.size() < config_.batch_size) {
     const std::size_t idx = rs.pending.front();
@@ -216,7 +213,11 @@ bool Coordinator::deliver(RunState& rs, std::size_t index,
       if (outcome.worker == "local") ++stats_.jobs_local;
       else ++stats_.jobs_remote;
     }
-    rs.completion_ms.push_back(ms_since(c.dispatched_at));
+    const double wall_ms = metrics::ms_since(c.dispatched_at);
+    rs.completion_ms.push_back(wall_ms);
+    static metrics::Histogram& cell_wall_us =
+        metrics::Registry::instance().histogram("fabric.cell_wall_us");
+    cell_wall_us.record(static_cast<u64>(wall_ms * 1000.0));
     (*rs.out)[index] = std::move(outcome);
     ++rs.completed;
     if (rs.progress) {
@@ -252,6 +253,9 @@ void Coordinator::requeue(RunState& rs, std::size_t index,
       c.queued = true;
       rs.pending.push_back(index);
       ++stats_.retries;
+      static metrics::Counter& retries =
+          metrics::Registry::instance().counter("fabric.retries");
+      retries.increment();
     }
   }
   if (out_of_attempts) {
@@ -280,7 +284,7 @@ void Coordinator::speculate_stragglers(RunState& rs) {
     for (std::size_t i = 0; i < rs.cells.size(); ++i) {
       Cell& c = rs.cells[i];
       if (c.done || c.queued || c.speculated || c.inflight == 0) continue;
-      if (ms_since(c.dispatched_at) <= threshold) continue;
+      if (metrics::ms_since(c.dispatched_at) <= threshold) continue;
       c.speculated = true;
       c.queued = true;
       rs.pending.push_back(i);
@@ -295,7 +299,7 @@ void Coordinator::run_locally(RunState& rs) {
   std::vector<std::size_t> indices;
   {
     const MutexLock lock(mutex_);
-    const auto now = Clock::now();
+    const auto now = metrics::now();
     while (!rs.pending.empty()) {
       const std::size_t idx = rs.pending.front();
       rs.pending.pop_front();
@@ -339,6 +343,11 @@ void Coordinator::worker_loop(std::size_t worker_idx, RunState& rs) {
                   config_.seed + 0x9E3779B97F4A7C15ull * (worker_idx + 1));
   const WorkerEndpoint ep = registry_.endpoint(worker_idx);
   const std::string name = ep.display_name();
+  // Per-worker RPC latency: one instrument per endpoint, so a slow worker
+  // shows up as its own p99 rather than hiding in the fleet aggregate.
+  // Failed calls record too — a timed-out RPC *is* latency.
+  metrics::Histogram& rpc_us =
+      metrics::Registry::instance().histogram("fabric.rpc_us." + name);
 
   while (true) {
     {
@@ -368,6 +377,7 @@ void Coordinator::worker_loop(std::size_t worker_idx, RunState& rs) {
     try {
       server::Client client(ep.host, ep.port);
       client.set_call_timeout_ms(static_cast<int>(config_.call_timeout_ms));
+      if (!config_.token.empty()) client.set_token(config_.token);
       {
         const MutexLock lock(mutex_);
         ++stats_.dispatches;
@@ -379,6 +389,7 @@ void Coordinator::worker_loop(std::size_t worker_idx, RunState& rs) {
       for (const std::size_t idx : outstanding) {
         const sim::SweepJob& job = (*rs.grid)[idx];
         try {
+          const metrics::ScopedTimer span(rpc_us);
           const u64 id = client.submit(
               server::job_spec_from_options(job.benchmark, job.options));
           submitted.emplace_back(idx, id);
@@ -401,7 +412,7 @@ void Coordinator::worker_loop(std::size_t worker_idx, RunState& rs) {
       // so one bad cell cannot sink its batch-mates.
       for (const auto& [idx, id] : submitted) {
         const auto wait_deadline =
-            Clock::now() + std::chrono::milliseconds(config_.job_wait_ms);
+            metrics::now() + std::chrono::milliseconds(config_.job_wait_ms);
         try {
           while (true) {
             if (run_finished()) {  // a duplicate won the whole run already
@@ -410,9 +421,7 @@ void Coordinator::worker_loop(std::size_t worker_idx, RunState& rs) {
               break;
             }
             const double left_ms =
-                std::chrono::duration<double, std::milli>(wait_deadline -
-                                                          Clock::now())
-                    .count();
+                metrics::ms_between(metrics::now(), wait_deadline);
             if (left_ms <= 0.0) {
               settle(idx);
               requeue(rs, idx, "result not ready within the wait budget");
@@ -421,6 +430,7 @@ void Coordinator::worker_loop(std::size_t worker_idx, RunState& rs) {
             const u64 chunk = std::min<u64>(
                 static_cast<u64>(left_ms) + 1,
                 std::max<u64>(1, config_.call_timeout_ms / 4));
+            const metrics::ScopedTimer span(rpc_us);
             const JsonValue reply = client.result(id, /*wait=*/true, chunk);
             const JsonValue* metrics = reply.find("metrics");
             if (!reply.get_bool("ready", false) || metrics == nullptr)

@@ -39,6 +39,7 @@
 #include "common/thread_annotations.hpp"
 #include "fabric/backoff.hpp"
 #include "fabric/registry.hpp"
+#include "metrics/clock.hpp"
 #include "sim/sweep.hpp"
 #include "store/sweep_cache.hpp"
 
@@ -64,6 +65,9 @@ struct FabricConfig {
   /// anything is sharded to the fleet; completed cells are inserted after
   /// the run so the next identical sweep is served without dispatching.
   std::string store_dir;
+  /// Shared secret attached to every worker RPC. Must match the workers'
+  /// --token or dispatches bounce as kUnauthorized.
+  std::string token;
 };
 
 /// One grid cell's outcome. `metrics` is the canonical
@@ -130,7 +134,7 @@ class Coordinator {
     bool speculated = false;  ///< already re-dispatched once
     unsigned attempts = 0;
     unsigned inflight = 0;
-    std::chrono::steady_clock::time_point dispatched_at{};
+    metrics::TimePoint dispatched_at{};
   };
 
   struct RunState {

@@ -39,7 +39,7 @@ WorkerEndpoint parse_endpoint(const std::string& text) {
 WorkerRegistry::WorkerRegistry(std::vector<WorkerEndpoint> workers,
                                unsigned retire_after)
     : retire_after_(retire_after),
-      epoch_(std::chrono::steady_clock::now()) {
+      epoch_(metrics::now()) {
   workers_.reserve(workers.size());
   for (auto& ep : workers) workers_.push_back(Entry{std::move(ep), {}, 0});
 }
@@ -111,9 +111,7 @@ void WorkerRegistry::retire_locked(Entry& e, const std::string& reason) {
 }
 
 double WorkerRegistry::ms_since_epoch_locked() const {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - epoch_)
-      .count();
+  return metrics::ms_since(epoch_);
 }
 
 std::vector<RetirementRecord> WorkerRegistry::retirement_log() const {

@@ -8,7 +8,6 @@
 // greps to prove a killed worker was actually detected and benched.
 #pragma once
 
-#include <chrono>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -16,6 +15,7 @@
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
+#include "metrics/clock.hpp"
 
 namespace aeep::fabric {
 
@@ -101,7 +101,7 @@ class WorkerRegistry {
   std::vector<Entry> workers_ AEEP_GUARDED_BY(mutex_);
   unsigned retire_after_;
   std::vector<RetirementRecord> log_ AEEP_GUARDED_BY(mutex_);
-  std::chrono::steady_clock::time_point epoch_;
+  metrics::TimePoint epoch_;
 };
 
 }  // namespace aeep::fabric

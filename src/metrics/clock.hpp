@@ -1,0 +1,44 @@
+// The one sanctioned monotonic clock in src/: every latency measurement
+// flows through these helpers so the raw-clock lint rule can ban ad-hoc
+// std::chrono::steady_clock::now() timing everywhere else. Ad-hoc timing
+// is how instrumentation rots — a hand-rolled duration_cast sees one call
+// site, a metrics::Histogram fed through these helpers sees the fleet.
+//
+// Units convention: histograms record *microseconds* (names end in _us);
+// human-facing logs render milliseconds. The helpers exist for both so a
+// call site never writes its own duration arithmetic.
+#pragma once
+
+#include <chrono>
+
+#include "common/types.hpp"
+
+namespace aeep::metrics {
+
+using MonotonicClock = std::chrono::steady_clock;
+using TimePoint = MonotonicClock::time_point;
+using Duration = MonotonicClock::duration;
+
+inline TimePoint now() { return MonotonicClock::now(); }
+
+/// Elapsed microseconds from `t0` to `t1`, clamped at zero (a non-monotonic
+/// pair — e.g. a deadline computed before `t0` — must not wrap to 2^64).
+inline u64 us_between(TimePoint t0, TimePoint t1) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
+  return us > 0 ? static_cast<u64>(us) : 0;
+}
+
+inline u64 us_since(TimePoint t0) { return us_between(t0, now()); }
+
+inline double ms_between(TimePoint t0, TimePoint t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+inline double ms_since(TimePoint t0) { return ms_between(t0, now()); }
+
+inline double seconds_between(TimePoint t0, TimePoint t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace aeep::metrics

@@ -1,0 +1,56 @@
+#include "metrics/registry.hpp"
+
+namespace aeep::metrics {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const MutexLock lock(mutex_);
+  return histograms_[name];
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const MutexLock lock(mutex_);
+  return counters_[name];
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>> Registry::histograms()
+    const {
+  const MutexLock lock(mutex_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.snapshot());
+  return out;
+}
+
+std::vector<std::pair<std::string, u64>> Registry::counters() const {
+  const MutexLock lock(mutex_);
+  std::vector<std::pair<std::string, u64>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+  return out;
+}
+
+JsonValue Registry::snapshot_json() const {
+  JsonValue doc = JsonValue::object();
+  JsonValue hists = JsonValue::object();
+  for (const auto& [name, snap] : histograms())
+    hists.set(name, snap.to_json());
+  doc.set("histograms", std::move(hists));
+  JsonValue counts = JsonValue::object();
+  for (const auto& [name, value] : counters())
+    counts.set(name, JsonValue::number(value));
+  doc.set("counters", std::move(counts));
+  return doc;
+}
+
+void Registry::reset() {
+  const MutexLock lock(mutex_);
+  for (auto& [name, h] : histograms_) h.reset();
+  for (auto& [name, c] : counters_) c.reset();
+}
+
+}  // namespace aeep::metrics

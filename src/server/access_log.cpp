@@ -34,7 +34,7 @@ void AccessLog::open(const std::string& path, u64 max_bytes) {
   }
   rotations_ = 0;
   seq_ = 0;
-  epoch_ = std::chrono::steady_clock::now();
+  epoch_ = metrics::now();
 }
 
 void AccessLog::close() {
@@ -91,11 +91,9 @@ void AccessLog::write(const std::string& event, JsonValue fields) {
   entry.set("event", JsonValue::string(event));
   for (const auto& [key, value] : fields.members())
     entry.set(key, value);
-  const auto t_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-                        std::chrono::steady_clock::now() - epoch_)
-                        .count();
+  const u64 t_ms = metrics::us_since(epoch_) / 1000;
   entry.set("seq", JsonValue::number(seq_++));
-  entry.set("t_ms", JsonValue::number(static_cast<u64>(t_ms < 0 ? 0 : t_ms)));
+  entry.set("t_ms", JsonValue::number(t_ms));
   const std::string line = entry.dump(0) + "\n";
   if (owns_ && max_bytes_ != 0 && written_ + line.size() > max_bytes_ &&
       written_ > 0)

@@ -10,7 +10,6 @@
 // and the two files together always hold the most recent history.
 #pragma once
 
-#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -18,6 +17,7 @@
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
+#include "metrics/clock.hpp"
 
 namespace aeep::server {
 
@@ -64,7 +64,7 @@ class AccessLog {
   u64 written_ AEEP_GUARDED_BY(mutex_) = 0;
   u64 rotations_ AEEP_GUARDED_BY(mutex_) = 0;
   u64 seq_ AEEP_GUARDED_BY(mutex_) = 0;
-  std::chrono::steady_clock::time_point epoch_ AEEP_GUARDED_BY(mutex_){};
+  metrics::TimePoint epoch_ AEEP_GUARDED_BY(mutex_){};
 };
 
 }  // namespace aeep::server

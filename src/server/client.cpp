@@ -12,6 +12,16 @@ JsonValue Client::make_request(const std::string& type) {
 }
 
 JsonValue Client::call(const JsonValue& request) {
+  if (!token_.empty() && request.find("token") == nullptr) {
+    JsonValue authed = request;
+    authed.set("token", JsonValue::string(token_));
+    send_frame(sock_, authed);
+    auto reply = recv_frame(sock_, call_timeout_ms_);
+    if (!reply)
+      throw ServerError(ServerErrorKind::kIo,
+                        "server closed the connection mid-call");
+    return std::move(*reply);
+  }
   send_frame(sock_, request);
   auto reply = recv_frame(sock_, call_timeout_ms_);
   if (!reply)
@@ -51,6 +61,10 @@ JsonValue Client::run(const JobSpec& spec) {
 }
 
 JsonValue Client::stats() { return check_reply(call(make_request("stats"))); }
+
+JsonValue Client::metrics() {
+  return check_reply(call(make_request("metrics")));
+}
 
 JsonValue Client::health() {
   return check_reply(call(make_request("health")));

@@ -30,6 +30,10 @@ class Client {
   /// default, matching the original blocking behaviour).
   void set_call_timeout_ms(int timeout_ms) { call_timeout_ms_ = timeout_ms; }
 
+  /// Shared-secret auth: once set, every call() carries the token. Must
+  /// match the server's --token or requests bounce as kUnauthorized.
+  void set_token(std::string token) { token_ = std::move(token); }
+
   /// Checked calls: each raises a not-ok reply as its typed ServerError.
   JsonValue ping();
   u64 submit(const JobSpec& spec);                ///< -> job id (kBusy!)
@@ -37,6 +41,7 @@ class Client {
   JsonValue result(u64 job_id, bool wait = true, u64 wait_ms = 60'000);
   JsonValue run(const JobSpec& spec);             ///< submit + wait inline
   JsonValue stats();
+  JsonValue metrics();                            ///< registry snapshot
   JsonValue health();                             ///< liveness + drain state
   JsonValue drain();                              ///< ask the server to drain
   std::vector<std::string> traces();
@@ -47,6 +52,7 @@ class Client {
  private:
   Socket sock_;
   int call_timeout_ms_ = -1;
+  std::string token_;
 };
 
 }  // namespace aeep::server

@@ -27,8 +27,9 @@ enum class ServerErrorKind {
   kBusy,        ///< bounded job queue is full — back off and retry (429)
   kNotFound,    ///< unknown job id or unregistered trace name
   kTimeout,     ///< job exceeded its wall-clock budget
-  kShutdown,    ///< server is draining; no new work accepted
-  kInternal,    ///< job threw inside the simulator
+  kShutdown,      ///< server is draining; no new work accepted
+  kInternal,      ///< job threw inside the simulator
+  kUnauthorized,  ///< shared token required and absent/wrong (401)
 };
 
 /// Human-readable prefix (error messages).
@@ -62,6 +63,7 @@ inline const char* to_string(ServerErrorKind k) {
     case ServerErrorKind::kTimeout: return "job timeout";
     case ServerErrorKind::kShutdown: return "server shutting down";
     case ServerErrorKind::kInternal: return "internal error";
+    case ServerErrorKind::kUnauthorized: return "unauthorized";
   }
   return "server error";
 }
@@ -76,6 +78,7 @@ inline const char* wire_code(ServerErrorKind k) {
     case ServerErrorKind::kTimeout: return "timeout";
     case ServerErrorKind::kShutdown: return "shutdown";
     case ServerErrorKind::kInternal: return "internal";
+    case ServerErrorKind::kUnauthorized: return "unauthorized";
   }
   return "internal";
 }
@@ -88,6 +91,7 @@ inline ServerErrorKind kind_from_wire_code(const std::string& code) {
   if (code == "not_found") return ServerErrorKind::kNotFound;
   if (code == "timeout") return ServerErrorKind::kTimeout;
   if (code == "shutdown") return ServerErrorKind::kShutdown;
+  if (code == "unauthorized") return ServerErrorKind::kUnauthorized;
   return ServerErrorKind::kInternal;
 }
 

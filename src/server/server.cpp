@@ -5,17 +5,12 @@
 #include <utility>
 
 #include "common/bitops.hpp"
+#include "metrics/timer.hpp"
 #include "sim/result_json.hpp"
 
 namespace aeep::server {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-}
 
 bool is_terminal(JobState s) {
   return s == JobState::kDone || s == JobState::kFailed ||
@@ -35,7 +30,20 @@ const char* to_string(JobState s) {
   return "?";
 }
 
-JobServer::JobServer(ServerConfig config) : config_(std::move(config)) {
+JobServer::JobServer(ServerConfig config)
+    : config_(std::move(config)),
+      h_queue_wait_(
+          metrics::Registry::instance().histogram("server.queue_wait_us")),
+      h_replay_(metrics::Registry::instance().histogram("server.replay_us")),
+      h_encode_(metrics::Registry::instance().histogram("server.encode_us")),
+      h_store_lookup_(
+          metrics::Registry::instance().histogram("server.store_lookup_us")),
+      h_request_(metrics::Registry::instance().histogram("server.request_us")),
+      h_job_wall_(
+          metrics::Registry::instance().histogram("server.job_wall_us")),
+      c_cache_hits_(metrics::Registry::instance().counter("server.cache_hits")),
+      c_cache_misses_(
+          metrics::Registry::instance().counter("server.cache_misses")) {
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
   if (config_.max_batch == 0) config_.max_batch = 1;
   if (config_.max_connections == 0) config_.max_connections = 1;
@@ -58,7 +66,7 @@ void JobServer::start() {
         store::StoreConfig{config_.store_dir, 4096});
   runner_ = std::make_unique<sim::SweepRunner>(config_.workers);
   listener_ = std::make_unique<Listener>(config_.host, config_.port);
-  started_at_ = Clock::now();
+  started_at_ = metrics::now();
   {
     JsonValue f = JsonValue::object();
     f.set("host", JsonValue::string(config_.host));
@@ -92,6 +100,7 @@ u64 JobServer::drain() {
   if (!started_.load()) return 0;
   request_drain();
   if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  log_metrics_summary("drain");
   u64 completed = 0;
   {
     const MutexLock lock(mutex_);
@@ -182,7 +191,7 @@ void JobServer::dispatch_loop() {
         cv_dispatch_.wait(mutex_);
       if (closing_.load()) return;
 
-      const auto now = Clock::now();
+      const auto now = metrics::now();
       u64 id = 0;
       while (ids.size() < config_.max_batch && queue_->try_pop(id)) {
         queue_depth_.fetch_sub(1);
@@ -196,6 +205,7 @@ void JobServer::dispatch_loop() {
           continue;
         }
         job.state = JobState::kRunning;
+        h_queue_wait_.record(metrics::us_between(job.submitted_at, now));
         ++running_count_;
         sim::SweepJob sj;
         sj.benchmark = job.spec.benchmark;
@@ -220,6 +230,7 @@ void JobServer::dispatch_loop() {
     // answered while a slow exec job in the same batch still runs.
     runner_->run(grid, [&](const sim::SweepProgress& p) {
       bool store_result = false;
+      h_replay_.record(static_cast<u64>(p.outcome->wall_seconds * 1e6));
       {
         const MutexLock g(mutex_);
         const auto it = jobs_.find(ids[p.job_index]);
@@ -228,7 +239,7 @@ void JobServer::dispatch_loop() {
         if (!p.outcome->ok()) {
           finish_job_locked(job, JobState::kFailed, ServerErrorKind::kInternal,
                             p.outcome->error);
-        } else if (job.has_deadline && Clock::now() > job.deadline) {
+        } else if (job.has_deadline && metrics::now() > job.deadline) {
           finish_job_locked(job, JobState::kTimeout, ServerErrorKind::kTimeout,
                             "completed after its deadline; result discarded");
         } else {
@@ -263,12 +274,20 @@ void JobServer::finish_job_locked(Job& job, JobState state,
   job.state = state;
   job.error_kind = kind;
   job.error = error;
-  job.wall_ms = ms_since(job.submitted_at);
+  job.wall_ms = metrics::ms_since(job.submitted_at);
   switch (state) {
-    case JobState::kDone: ++stats_.completed; break;
+    case JobState::kDone:
+      ++stats_.completed;
+      h_job_wall_.record(static_cast<u64>(job.wall_ms * 1000.0));
+      break;
     case JobState::kFailed: ++stats_.failed; break;
     case JobState::kTimeout: ++stats_.timed_out; break;
     default: break;
+  }
+  if (config_.metrics_log_every != 0 &&
+      ++metrics_log_at_ >= config_.metrics_log_every) {
+    metrics_log_at_ = 0;
+    log_metrics_summary("periodic");
   }
   finished_order_.push_back(job.id);
   enforce_retention_locked();
@@ -378,9 +397,13 @@ void JobServer::handle_connection(Socket sock, u64 conn_id,
       if (!sock.wait_readable(200)) continue;
       const auto req = recv_frame(sock);
       if (!req) break;  // peer hung up cleanly
-      const auto t0 = Clock::now();
+      const auto t0 = metrics::now();
       const JsonValue reply = handle_request(*req, conn_id);
-      send_frame(sock, reply);
+      h_request_.record(metrics::us_since(t0));
+      {
+        const metrics::ScopedTimer enc(h_encode_);
+        send_frame(sock, reply);
+      }
       ++served;
       JsonValue f = JsonValue::object();
       f.set("conn", JsonValue::number(conn_id));
@@ -388,7 +411,7 @@ void JobServer::handle_connection(Socket sock, u64 conn_id,
       f.set("ok", JsonValue::boolean(reply.get_bool("ok", false)));
       if (const JsonValue* e = reply.find("error")) f.set("error", *e);
       if (const JsonValue* j = reply.find("job_id")) f.set("job", *j);
-      f.set("dur_ms", JsonValue::number(ms_since(t0)));
+      f.set("dur_ms", JsonValue::number(metrics::ms_since(t0)));
       log_.write("request", std::move(f));
     }
     if (closing_.load()) close_reason = "server_closing";
@@ -422,13 +445,25 @@ JsonValue JobServer::handle_request(const JsonValue& req, u64 conn_id) {
       JsonValue r = ok_reply("pong");
       r.set("server", JsonValue::string("aeep_served"));
       r.set("protocol", JsonValue::number(u64{1}));
+      r.set("auth_required", JsonValue::boolean(!config_.token.empty()));
       return r;
+    }
+    if (!config_.token.empty() &&
+        req.get_string("token", "") != config_.token) {
+      {
+        const MutexLock lock(mutex_);
+        ++stats_.unauthorized;
+      }
+      throw ServerError(ServerErrorKind::kUnauthorized,
+                        "request requires a valid token (server started "
+                        "with --token)");
     }
     if (type == "submit") return handle_submit(req);
     if (type == "status") return handle_status(req);
     if (type == "result") return handle_result(req);
     if (type == "run") return handle_run(req);
     if (type == "stats") return handle_stats();
+    if (type == "metrics") return handle_metrics();
     if (type == "traces") return handle_traces();
     if (type == "health") return handle_health();
     if (type == "drain") return handle_drain();
@@ -456,7 +491,11 @@ u64 JobServer::submit_job(const JsonValue& req) {
     sim::SweepJob probe;
     probe.benchmark = spec.benchmark;
     probe.options = options;
-    std::optional<sim::RunResult> hit = cache_->lookup_result(probe);
+    std::optional<sim::RunResult> hit;
+    {
+      const metrics::ScopedTimer span(h_store_lookup_);
+      hit = cache_->lookup_result(probe);
+    }
     if (hit) {
       u64 id = 0;
       {
@@ -471,12 +510,13 @@ u64 JobServer::submit_job(const JsonValue& req) {
         job.id = id;
         job.spec = std::move(spec);
         job.options = std::move(options);
-        job.submitted_at = Clock::now();
+        job.submitted_at = metrics::now();
         job.result = std::move(*hit);
         const auto [it, inserted] = jobs_.emplace(id, std::move(job));
         (void)inserted;
         ++stats_.submitted;
         ++stats_.cache_hits;
+        c_cache_hits_.increment();
         finish_job_locked(it->second, JobState::kDone,
                           ServerErrorKind::kInternal, "");
       }
@@ -490,6 +530,7 @@ u64 JobServer::submit_job(const JsonValue& req) {
       const MutexLock lock(mutex_);
       ++stats_.cache_misses;
     }
+    c_cache_misses_.increment();
     JsonValue f = JsonValue::object();
     f.set("benchmark", JsonValue::string(probe.benchmark));
     log_.write("cache_miss", std::move(f));
@@ -521,7 +562,7 @@ u64 JobServer::submit_job(const JsonValue& req) {
     job.id = id;
     job.spec = std::move(spec);
     job.options = std::move(options);
-    job.submitted_at = Clock::now();
+    job.submitted_at = metrics::now();
     const u64 timeout_ms =
         job.spec.timeout_ms != 0 ? job.spec.timeout_ms
                                  : config_.default_timeout_ms;
@@ -579,7 +620,7 @@ JsonValue JobServer::handle_status(const JsonValue& req) {
   }
   r.set("wall_ms", JsonValue::number(is_terminal(job.state)
                                          ? job.wall_ms
-                                         : ms_since(job.submitted_at)));
+                                         : metrics::ms_since(job.submitted_at)));
   if (!job.error.empty()) {
     r.set("error", JsonValue::string(wire_code(job.error_kind)));
     r.set("message", JsonValue::string(job.error));
@@ -608,7 +649,7 @@ JsonValue JobServer::result_reply_locked(const Job& job) const {
 
 bool JobServer::wait_for_job(u64 id, u64 wait_ms) {
   const MutexLock lock(mutex_);
-  const auto deadline = Clock::now() + std::chrono::milliseconds(wait_ms);
+  const auto deadline = metrics::now() + std::chrono::milliseconds(wait_ms);
   while (true) {
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) return true;  // evicted — as terminal as it gets
@@ -642,7 +683,7 @@ JsonValue JobServer::handle_run(const JsonValue& req) {
     const auto it = jobs_.find(id);
     if (it != jobs_.end() && it->second.has_deadline) {
       const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-          it->second.deadline - Clock::now());
+          it->second.deadline - metrics::now());
       budget_ms = static_cast<u64>(left.count() > 0 ? left.count() : 0) +
                   5'000;  // grace for the dispatcher to notice the deadline
     }
@@ -661,7 +702,7 @@ JsonValue JobServer::handle_run(const JsonValue& req) {
 JsonValue JobServer::handle_stats() const {
   const ServerStats s = stats();
   JsonValue r = ok_reply("stats");
-  r.set("uptime_ms", JsonValue::number(ms_since(started_at_)));
+  r.set("uptime_ms", JsonValue::number(metrics::ms_since(started_at_)));
   r.set("draining", JsonValue::boolean(draining_.load()));
   r.set("workers",
         JsonValue::number(u64{runner_ ? runner_->jobs() : config_.workers}));
@@ -681,6 +722,7 @@ JsonValue JobServer::handle_stats() const {
   r.set("cache_hits", JsonValue::number(s.cache_hits));
   r.set("cache_misses", JsonValue::number(s.cache_misses));
   r.set("cache_stores", JsonValue::number(s.cache_stores));
+  r.set("unauthorized", JsonValue::number(s.unauthorized));
   if (cache_) {
     r.set("store_entries",
           JsonValue::number(u64{cache_->result_store().size()}));
@@ -715,6 +757,33 @@ JsonValue JobServer::handle_drain() {
   JsonValue r = ok_reply("drain");
   r.set("draining", JsonValue::boolean(true));
   return r;
+}
+
+JsonValue JobServer::handle_metrics() const {
+  // Whole-registry snapshot: every histogram (raw buckets + derived
+  // percentiles) and counter in the process, not just the server.* family —
+  // a worker's store.* and sim.* instruments ride along for free.
+  JsonValue r = ok_reply("metrics");
+  r.set("uptime_ms", JsonValue::number(metrics::ms_since(started_at_)));
+  r.set("metrics", metrics::Registry::instance().snapshot_json());
+  return r;
+}
+
+void JobServer::log_metrics_summary(const char* reason) {
+  JsonValue f = JsonValue::object();
+  f.set("reason", JsonValue::string(reason));
+  JsonValue stages = JsonValue::object();
+  for (const auto& [name, snap] : metrics::Registry::instance().histograms()) {
+    if (snap.empty()) continue;
+    JsonValue s = JsonValue::object();
+    s.set("count", JsonValue::number(snap.count));
+    s.set("p50", JsonValue::number(snap.percentile(50.0)));
+    s.set("p99", JsonValue::number(snap.percentile(99.0)));
+    s.set("max", JsonValue::number(snap.max));
+    stages.set(name, std::move(s));
+  }
+  f.set("histograms", std::move(stages));
+  log_.write("metrics", std::move(f));
 }
 
 JsonValue JobServer::handle_traces() const {

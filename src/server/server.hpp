@@ -37,6 +37,8 @@
 #include "common/mpmc_queue.hpp"
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
+#include "metrics/clock.hpp"
+#include "metrics/registry.hpp"
 #include "server/access_log.hpp"
 #include "server/registry.hpp"
 #include "server/socket.hpp"
@@ -62,6 +64,13 @@ struct ServerConfig {
   /// submit whose job digest hits the store is answered terminal-kDone
   /// without ever touching the sweep pool.
   std::string store_dir;
+  /// Write a "metrics" access-log line (per-stage histogram summary) every
+  /// N terminal jobs, and once more at drain. 0 = only at drain.
+  u64 metrics_log_every = 256;
+  /// Shared secret. When set, every request except "ping" must carry a
+  /// matching "token" field or it is refused with kUnauthorized. Ping stays
+  /// open so liveness probes and port scans don't need the secret.
+  std::string token;
 };
 
 enum class JobState { kQueued, kRunning, kDone, kFailed, kTimeout };
@@ -82,6 +91,7 @@ struct ServerStats {
   u64 cache_hits = 0;         ///< submits answered straight from the store
   u64 cache_misses = 0;       ///< submits that had to run (store enabled)
   u64 cache_stores = 0;       ///< completed results written to the store
+  u64 unauthorized = 0;       ///< requests bounced by token auth
   std::size_t queued = 0;     ///< gauge at snapshot time
   std::size_t running = 0;    ///< gauge at snapshot time
 };
@@ -132,8 +142,8 @@ class JobServer {
     ServerErrorKind error_kind = ServerErrorKind::kInternal;
     std::string error;  ///< kFailed / kTimeout detail
     sim::RunResult result{};
-    std::chrono::steady_clock::time_point submitted_at{};
-    std::chrono::steady_clock::time_point deadline{};
+    metrics::TimePoint submitted_at{};
+    metrics::TimePoint deadline{};
     bool has_deadline = false;
     double wall_ms = 0.0;  ///< submit -> terminal
   };
@@ -156,6 +166,12 @@ class JobServer {
   JsonValue handle_traces() const;
   JsonValue handle_health() const;
   JsonValue handle_drain();
+  JsonValue handle_metrics() const;
+
+  /// One "metrics" access-log line: count/p50/p99/max for every "server."
+  /// histogram. Reads only the registry and the log — both leaf locks — so
+  /// it is safe with or without mutex_ held.
+  void log_metrics_summary(const char* reason);
 
   /// Validate + enqueue; returns the new job id. Throws ServerError
   /// (kBusy, kShutdown, kNotFound, kBadRequest). Caller holds no lock.
@@ -197,6 +213,20 @@ class JobServer {
   u64 next_job_id_ AEEP_GUARDED_BY(mutex_) = 1;
   std::size_t running_count_ AEEP_GUARDED_BY(mutex_) = 0;
   ServerStats stats_ AEEP_GUARDED_BY(mutex_){};
+  /// terminal jobs since the last periodic metrics summary
+  u64 metrics_log_at_ AEEP_GUARDED_BY(mutex_) = 0;
+
+  /// Per-stage telemetry, resolved once here (registry references have
+  /// stable addresses). record() is wait-free, so these are safe under
+  /// mutex_ and from every handler thread.
+  metrics::Histogram& h_queue_wait_;
+  metrics::Histogram& h_replay_;
+  metrics::Histogram& h_encode_;
+  metrics::Histogram& h_store_lookup_;
+  metrics::Histogram& h_request_;
+  metrics::Histogram& h_job_wall_;
+  metrics::Counter& c_cache_hits_;
+  metrics::Counter& c_cache_misses_;
 
   std::atomic<bool> draining_{false};  ///< no new submits
   std::atomic<bool> closing_{false};   ///< connections wind down
@@ -208,7 +238,7 @@ class JobServer {
   std::list<Connection> connections_ AEEP_GUARDED_BY(conn_mutex_);
   std::size_t active_connections_ AEEP_GUARDED_BY(conn_mutex_) = 0;
   u64 next_conn_id_ AEEP_GUARDED_BY(conn_mutex_) = 1;
-  std::chrono::steady_clock::time_point started_at_{};
+  metrics::TimePoint started_at_{};
 };
 
 }  // namespace aeep::server

@@ -12,6 +12,8 @@
 #include <cstring>
 #include <utility>
 
+#include "metrics/clock.hpp"
+
 namespace aeep::server {
 
 namespace {
@@ -92,12 +94,12 @@ void Socket::send_all(const void* data, std::size_t len) {
 bool Socket::recv_exact(void* data, std::size_t len, int timeout_ms) {
   char* p = static_cast<char*>(data);
   std::size_t got = 0;
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  const auto deadline = metrics::now() + std::chrono::milliseconds(
+                                             timeout_ms < 0 ? 0 : timeout_ms);
   while (got < len) {
     if (timeout_ms >= 0) {
       const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-          deadline - std::chrono::steady_clock::now());
+          deadline - metrics::now());
       const int wait_ms = left.count() > 0 ? static_cast<int>(left.count()) : 0;
       if (!wait_for(fd_, POLLIN, wait_ms))
         throw ServerError(ServerErrorKind::kIo,

@@ -12,13 +12,19 @@
 #include "common/mpmc_queue.hpp"
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
+#include "metrics/clock.hpp"
+#include "metrics/registry.hpp"
 
 namespace aeep::sim {
 
 namespace {
 
 void execute_job(const SweepJob& job, SweepOutcome& out) {
-  const auto start = std::chrono::steady_clock::now();
+  // Resolved once per process; every sweep cell's wall clock lands in the
+  // same instrument regardless of which pool ran it.
+  static metrics::Histogram& cell_us =
+      metrics::Registry::instance().histogram("sim.sweep.cell_us");
+  const auto start = metrics::now();
   try {
     out.result = run_benchmark(job.benchmark, job.options);
   } catch (const std::exception& e) {
@@ -26,9 +32,9 @@ void execute_job(const SweepJob& job, SweepOutcome& out) {
   } catch (...) {
     out.error = "unknown exception";
   }
-  out.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const auto end = metrics::now();
+  cell_us.record(metrics::us_between(start, end));
+  out.wall_seconds = metrics::seconds_between(start, end);
 }
 
 }  // namespace

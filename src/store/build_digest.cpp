@@ -1,0 +1,50 @@
+#include "store/build_digest.hpp"
+
+#include <atomic>
+#include <string>
+
+#include "common/crc64.hpp"
+#include "trace/error.hpp"
+#include "trace/io.hpp"
+
+#ifndef AEEP_GIT_REV
+#define AEEP_GIT_REV "unknown"
+#endif
+
+namespace aeep::store {
+
+namespace {
+
+std::atomic<u64> g_override{0};
+
+u64 compute_build_digest() {
+  std::string identity = "git:";
+  identity += AEEP_GIT_REV;
+  identity += ";exe:";
+  try {
+    // Whole-image CRC: catches dirty-tree rebuilds the git rev misses.
+    const u64 exe_crc = trace::file_digest("/proc/self/exe");
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(exe_crc));
+    identity += hex;
+  } catch (const std::exception&) {
+    identity += "unavailable";  // non-Linux: the git rev still keys
+  }
+  return crc64(identity);
+}
+
+}  // namespace
+
+u64 build_digest() {
+  const u64 forced = g_override.load(std::memory_order_relaxed);
+  if (forced != 0) return forced;
+  static const u64 digest = compute_build_digest();
+  return digest;
+}
+
+void set_build_digest_for_testing(u64 value) {
+  g_override.store(value, std::memory_order_relaxed);
+}
+
+}  // namespace aeep::store

@@ -1,0 +1,31 @@
+// Identity of the simulator build, folded into every store::Digest.
+//
+// A result store outlives the binary that filled it. Canonical job JSON
+// pins every semantic knob of a cell, but not the simulator itself: a code
+// change that alters results (a fixed bug, a reordered RNG draw) would
+// otherwise serve stale payloads byte-for-byte as if nothing happened —
+// the worst kind of cache poisoning, because nothing fails. Folding the
+// build identity into the key turns "simulator changed" into a clean cold
+// miss.
+//
+// The identity is CRC64 over the compile-time git revision (baked in by
+// CMake as AEEP_GIT_REV) and the CRC64 of the running executable image
+// (/proc/self/exe), so even a dirty-tree rebuild at the same revision
+// keys differently when the binary actually changed. Computed once per
+// process on first use; a missing /proc (non-Linux) degrades to the git
+// revision alone.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace aeep::store {
+
+/// The running simulator's build digest (cached after the first call).
+u64 build_digest();
+
+/// Test hook: pin build_digest() to `value` (0 restores the real digest).
+/// Lets a test prove cross-build behaviour — same job, different "build",
+/// must miss — without actually building twice.
+void set_build_digest_for_testing(u64 value);
+
+}  // namespace aeep::store

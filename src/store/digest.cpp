@@ -2,6 +2,7 @@
 
 #include "common/crc64.hpp"
 #include "fault/injector.hpp"
+#include "store/build_digest.hpp"
 #include "protect/protected_l2.hpp"
 #include "protect/recovery.hpp"
 #include "trace/error.hpp"
@@ -36,7 +37,10 @@ JsonValue canonical_job_json(const std::string& benchmark,
                              const sim::ExperimentOptions& opts,
                              u64 trace_crc64) {
   JsonValue j = JsonValue::object();
-  j.set("v", JsonValue::number(u64{1}));
+  j.set("v", JsonValue::number(u64{2}));
+  // The simulator build is part of a cell's identity: a changed binary
+  // must cold-miss rather than serve results the old code computed.
+  j.set("build", JsonValue::string(Digest{build_digest()}.hex()));
   j.set("benchmark", JsonValue::string(benchmark));
   j.set("scheme", JsonValue::string(protect::to_string(opts.scheme)));
   j.set("cleaning_interval", JsonValue::number(opts.cleaning_interval));

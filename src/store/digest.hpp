@@ -37,9 +37,11 @@ struct Digest {
 };
 
 /// The canonical spec JSON the digest hashes: every semantic knob of the
-/// experiment in one fixed key order, rendered with dump(0). For kTrace
-/// jobs `trace_crc64` carries the trace file's content digest; pass 0 for
-/// non-trace jobs (the field is then omitted).
+/// experiment in one fixed key order, rendered with dump(0), plus the
+/// simulator's own build_digest() (a new build must miss, never serve
+/// results the old code computed). For kTrace jobs `trace_crc64` carries
+/// the trace file's content digest; pass 0 for non-trace jobs (the field
+/// is then omitted).
 JsonValue canonical_job_json(const std::string& benchmark,
                              const sim::ExperimentOptions& opts,
                              u64 trace_crc64);

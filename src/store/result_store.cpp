@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/bitops.hpp"
+#include "metrics/registry.hpp"
+#include "metrics/timer.hpp"
 #include "trace/error.hpp"
 
 namespace aeep::store {
@@ -381,6 +383,9 @@ void ResultStore::reset_stats() {
 }
 
 u64 ResultStore::gc(u64 max_bytes) {
+  static metrics::Histogram& gc_us =
+      metrics::Registry::instance().histogram("store.gc_us");
+  const metrics::ScopedTimer span(gc_us);
   const MutexLock lock(mutex_);
 
   u64 live_bytes = kHeaderBytes;

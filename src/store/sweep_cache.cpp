@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "metrics/registry.hpp"
+#include "metrics/timer.hpp"
 #include "sim/result_json.hpp"
 #include "store/result_codec.hpp"
 
@@ -9,12 +11,36 @@ namespace aeep::store {
 
 namespace {
 constexpr u64 kPayloadVersion = 1;
+
+// Store-level telemetry, shared by every SweepCache in the process (the
+// served cache and a fabric coordinator's cache count into one place).
+metrics::Histogram& lookup_us_hist() {
+  static metrics::Histogram& h =
+      metrics::Registry::instance().histogram("store.lookup_us");
+  return h;
+}
+metrics::Histogram& insert_us_hist() {
+  static metrics::Histogram& h =
+      metrics::Registry::instance().histogram("store.insert_us");
+  return h;
+}
+metrics::Counter& hits_counter() {
+  static metrics::Counter& c =
+      metrics::Registry::instance().counter("store.hits");
+  return c;
+}
+metrics::Counter& misses_counter() {
+  static metrics::Counter& c =
+      metrics::Registry::instance().counter("store.misses");
+  return c;
+}
 }  // namespace
 
 SweepCache::SweepCache(StoreConfig config) : store_(std::move(config)) {}
 
 std::optional<sim::RunResult> SweepCache::lookup_result(
     const sim::SweepJob& job) {
+  const metrics::ScopedTimer span(lookup_us_hist());
   const std::optional<Digest> key = job_digest(job);
   if (!key) {
     const MutexLock lock(mutex_);
@@ -27,16 +53,19 @@ std::optional<sim::RunResult> SweepCache::lookup_result(
       if (std::optional<sim::RunResult> r = run_result_from_json(*full)) {
         const MutexLock lock(mutex_);
         ++stats_.hits;
+        hits_counter().increment();
         return r;
       }
     }
   }
   const MutexLock lock(mutex_);
   ++stats_.misses;
+  misses_counter().increment();
   return std::nullopt;
 }
 
 std::optional<JsonValue> SweepCache::lookup_metrics(const sim::SweepJob& job) {
+  const metrics::ScopedTimer span(lookup_us_hist());
   const std::optional<Digest> key = job_digest(job);
   if (!key) {
     const MutexLock lock(mutex_);
@@ -49,16 +78,19 @@ std::optional<JsonValue> SweepCache::lookup_metrics(const sim::SweepJob& job) {
       if (metrics->is_object()) {
         const MutexLock lock(mutex_);
         ++stats_.hits;
+        hits_counter().increment();
         return *metrics;
       }
     }
   }
   const MutexLock lock(mutex_);
   ++stats_.misses;
+  misses_counter().increment();
   return std::nullopt;
 }
 
 void SweepCache::insert(const sim::SweepJob& job, const sim::RunResult& result) {
+  const metrics::ScopedTimer span(insert_us_hist());
   const std::optional<Digest> key = job_digest(job);
   if (!key) {
     const MutexLock lock(mutex_);
@@ -77,6 +109,7 @@ void SweepCache::insert(const sim::SweepJob& job, const sim::RunResult& result) 
 
 void SweepCache::insert_metrics(const sim::SweepJob& job,
                                 const JsonValue& metrics) {
+  const metrics::ScopedTimer span(insert_us_hist());
   const std::optional<Digest> key = job_digest(job);
   if (!key) {
     const MutexLock lock(mutex_);

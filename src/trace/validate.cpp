@@ -1,10 +1,10 @@
 #include "trace/validate.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <sstream>
 
+#include "metrics/clock.hpp"
 #include "trace/io.hpp"
 #include "trace/replay.hpp"
 
@@ -66,7 +66,6 @@ std::string ValidationReport::to_text() const {
 ValidationReport cross_validate(const sim::SystemConfig& cfg,
                                 const std::string& trace_path,
                                 double tolerance) {
-  using clock = std::chrono::steady_clock;
   ValidationReport rep;
   rep.benchmark = cfg.benchmark;
   rep.trace_path = trace_path;
@@ -74,21 +73,21 @@ ValidationReport cross_validate(const sim::SystemConfig& cfg,
 
   sim::SystemConfig exec_cfg = cfg;
   exec_cfg.hierarchy.capture_path = trace_path;
-  const auto t0 = clock::now();
+  const auto t0 = metrics::now();
   sim::System system(exec_cfg);
   const sim::RunResult exec_result = system.run();
-  const auto t1 = clock::now();
+  const auto t1 = metrics::now();
 
   ReplayConfig rc;
   rc.hierarchy = cfg.hierarchy;
   rc.trace_path = trace_path;
   ReplayDriver driver(std::move(rc));
-  const auto t2 = clock::now();
+  const auto t2 = metrics::now();
   const sim::RunResult replay_result = driver.run();
-  const auto t3 = clock::now();
+  const auto t3 = metrics::now();
 
-  rep.exec_seconds = std::chrono::duration<double>(t1 - t0).count();
-  rep.replay_seconds = std::chrono::duration<double>(t3 - t2).count();
+  rep.exec_seconds = metrics::seconds_between(t0, t1);
+  rep.replay_seconds = metrics::seconds_between(t2, t3);
   rep.trace_events = driver.events_replayed();
   try {
     FileReader trace_file(trace_path);

@@ -580,6 +580,45 @@ TEST(RawFsCall, GrepFalsePositiveInCommentOrStringIsQuiet) {
                      "raw-fs-call"));
 }
 
+// --- raw-clock -------------------------------------------------------------
+
+TEST(RawClock, FiresOnSteadyClockInSrcOutsideMetrics) {
+  const std::string src =
+      "const auto t0 = std::chrono::steady_clock::now();";
+  EXPECT_TRUE(fired("src/server/x.cpp", src, "raw-clock"));
+  EXPECT_TRUE(fired("src/sim/x.cpp", src, "raw-clock"));
+  EXPECT_TRUE(fired("src/fabric/x.hpp",
+                    "using Clock = std::chrono::steady_clock;", "raw-clock"));
+  EXPECT_TRUE(fired("src/x.cpp",
+                    "auto t = std::chrono::high_resolution_clock::now();",
+                    "raw-clock"));
+}
+
+TEST(RawClock, MetricsTestsAndToolsAreExempt) {
+  const std::string src =
+      "const auto t0 = std::chrono::steady_clock::now();";
+  // src/metrics/clock.hpp is the one sanctioned wrapper; tests and tools
+  // measure whatever they like.
+  EXPECT_FALSE(fired("src/metrics/clock.hpp", src, "raw-clock"));
+  EXPECT_FALSE(fired("tests/x.cpp", src, "raw-clock"));
+  EXPECT_FALSE(fired("bench/x.cpp", src, "raw-clock"));
+}
+
+TEST(RawClock, MetricsHelpersAndCommentsAreQuiet) {
+  EXPECT_FALSE(fired("src/server/x.cpp",
+                     "const auto t0 = metrics::now();\n"
+                     "h.record(metrics::us_since(t0));\n"
+                     "// steady_clock would be banned here\n",
+                     "raw-clock"));
+}
+
+TEST(RawClock, AllowCommentSuppresses) {
+  EXPECT_FALSE(fired("src/server/x.cpp",
+                     "auto t = std::chrono::steady_clock::now();"
+                     "  // aeep-lint: allow(raw-clock)",
+                     "raw-clock"));
+}
+
 // --- reporting surface -----------------------------------------------------
 
 TEST(Report, FormatFindingIsFileLineRuleMessage) {
@@ -589,7 +628,7 @@ TEST(Report, FormatFindingIsFileLineRuleMessage) {
 
 TEST(Report, CatalogNamesAreUniqueAndNonEmpty) {
   const auto& catalog = rule_catalog();
-  EXPECT_EQ(catalog.size(), 12u);
+  EXPECT_EQ(catalog.size(), 13u);
   std::vector<std::string> names;
   for (const auto& r : catalog) {
     EXPECT_FALSE(r.name.empty());

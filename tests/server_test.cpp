@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "metrics/histogram.hpp"
 #include "server/client.hpp"
 #include "server/registry.hpp"
 #include "server/server.hpp"
@@ -364,6 +365,84 @@ TEST(JobServer, TraceReplayThroughServerIsBitExactWithDirectReplay) {
   EXPECT_EQ(metrics->dump(0), sim::run_result_json(direct).dump(0));
   served.drain();
   std::remove(path.c_str());
+}
+
+TEST(JobServer, TokenGateRefusesEverythingButPing) {
+  ServerConfig cfg;
+  cfg.port = 0;
+  cfg.workers = 1;
+  cfg.token = "sekrit";
+  JobServer served(cfg);
+  served.start();
+  Client client("127.0.0.1", served.port());
+
+  // Ping stays open so discovery works before credentials, and advertises
+  // that everything else is gated.
+  const JsonValue pong = client.ping();
+  EXPECT_EQ(pong.get_string("type"), "pong");
+  EXPECT_TRUE(pong.get_bool("auth_required"));
+
+  // No token and a wrong token both get the typed refusal.
+  EXPECT_EQ(kind_of([&] { client.metrics(); }),
+            ServerErrorKind::kUnauthorized);
+  client.set_token("wrong");
+  EXPECT_EQ(kind_of([&] { client.submit(small_exec_job()); }),
+            ServerErrorKind::kUnauthorized);
+
+  // The right token unlocks the full protocol.
+  client.set_token("sekrit");
+  const u64 id = client.submit(small_exec_job());
+  const JsonValue result = client.result(id, /*wait=*/true, 60'000);
+  EXPECT_TRUE(result.get_bool("ready"));
+  EXPECT_FALSE(client.metrics().find("metrics") == nullptr);
+
+  const ServerStats stats = served.stats();
+  EXPECT_EQ(stats.unauthorized, 2u);
+  EXPECT_EQ(stats.completed, 1u);
+  served.drain();
+}
+
+TEST(JobServer, MetricsEndpointStageCountsMatchTheWorkDone) {
+  ServerConfig cfg;
+  cfg.port = 0;
+  cfg.workers = 1;
+  JobServer served(cfg);
+  served.start();
+  Client client("127.0.0.1", served.port());
+
+  // The registry is process-global (other tests in this binary have
+  // already recorded into it), so assert on the interval this test adds,
+  // not on absolute counts.
+  const auto stage = [&](const JsonValue& reply, const char* name) {
+    const JsonValue* hists = reply.find("metrics")->find("histograms");
+    const JsonValue* doc = hists == nullptr ? nullptr : hists->find(name);
+    if (doc == nullptr) return metrics::HistogramSnapshot{};
+    const auto snap = metrics::HistogramSnapshot::from_json(*doc);
+    return snap.value_or(metrics::HistogramSnapshot{});
+  };
+  const JsonValue before = client.metrics();
+  EXPECT_GE(before.get_double("uptime_ms"), 0.0);
+
+  constexpr u64 kJobs = 3;
+  std::vector<u64> ids;
+  for (u64 i = 0; i < kJobs; ++i) {
+    JobSpec spec = small_exec_job();
+    spec.seed = 100 + i;
+    ids.push_back(client.submit(spec));
+  }
+  for (const u64 id : ids) client.result(id, /*wait=*/true, 60'000);
+  const JsonValue after = client.metrics();
+
+  // Every job passed through the queue exactly once, was replayed exactly
+  // once, and closed out exactly one wall-clock span.
+  for (const char* name :
+       {"server.queue_wait_us", "server.replay_us", "server.job_wall_us"}) {
+    const auto delta =
+        stage(after, name).diff_since(stage(before, name));
+    ASSERT_TRUE(delta.has_value()) << name;
+    EXPECT_EQ(delta->count, kJobs) << name;
+  }
+  served.drain();
 }
 
 TEST(JobServer, FailedJobSurfacesAsTypedInternalError) {

@@ -14,6 +14,7 @@
 
 #include "sim/result_json.hpp"
 #include "sim/sweep.hpp"
+#include "store/build_digest.hpp"
 #include "store/digest.hpp"
 #include "store/result_codec.hpp"
 #include "store/result_store.hpp"
@@ -100,6 +101,29 @@ TEST(Digest, SemanticFieldsChangeItTagAndLocationDoNot) {
   other = base;
   other.benchmark = "mcf";
   EXPECT_NE(job_digest(other), d0);
+}
+
+TEST(Digest, DifferentBuildMissesSameBuildHits) {
+  const sim::SweepJob job{"gzip", small_options(), "baseline"};
+
+  set_build_digest_for_testing(0x1111);
+  const auto build_a = job_digest(job);
+  const auto build_a_again = job_digest(job);
+  set_build_digest_for_testing(0x2222);
+  const auto build_b = job_digest(job);
+  set_build_digest_for_testing(0);  // restore the real build identity
+  const auto real = job_digest(job);
+
+  ASSERT_TRUE(build_a.has_value());
+  ASSERT_TRUE(build_b.has_value());
+  ASSERT_TRUE(real.has_value());
+  // Same job under the same build always keys identically...
+  EXPECT_EQ(build_a, build_a_again);
+  // ...but a different simulator build must cold-miss, never serve
+  // payloads the old code computed.
+  EXPECT_NE(build_a, build_b);
+  EXPECT_NE(build_a, real);
+  EXPECT_NE(build_b, real);
 }
 
 TEST(Digest, CaptureJobsAreUncacheable) {

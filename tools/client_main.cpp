@@ -3,6 +3,8 @@
 //   aeep_client ping    [--host=127.0.0.1 --port=7421]
 //   aeep_client traces  — list the traces the server will replay by name
 //   aeep_client stats   — queue depth, counters, uptime
+//   aeep_client metrics — per-stage latency histograms + counters
+//                         (also reachable as `aeep_client --metrics`)
 //   aeep_client health  — liveness + drain state (what the fabric probes)
 //   aeep_client drain   — ask the server to stop accepting new jobs
 //   aeep_client submit  [job flags]            -> prints the job id
@@ -22,6 +24,10 @@
 // into shell variables; a missing path exits 4); --quiet suppresses the
 // reply entirely — the exit code is the answer.
 //
+// Auth: --token=SECRET attaches the shared token to every request; a
+// server started with --token refuses everything but ping without it
+// (exit 7).
+//
 // Job flags: --benchmark=gzip --frontend=exec|trace --scheme=uniform-ecc|
 // non-uniform|shared-ecc-array --cleaning-policy=written-bit|naive|
 // decay-counter|eager-idle --interval=N --decay-threshold=N --entries=N
@@ -31,7 +37,7 @@
 // `run --json=FILE` writes the bench pipeline's schema-v1 document (one
 // cell, tag "server"), so a remote run diffs key-for-key against a local
 // bench cell. Exit codes: 0 ok, 2 usage, 3 busy (backpressure), 4 not
-// found, 5 job timeout, 6 cannot connect, 1 anything else.
+// found, 5 job timeout, 6 cannot connect, 7 unauthorized, 1 anything else.
 #include <cstdio>
 #include <string>
 
@@ -48,9 +54,9 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: aeep_client "
-      "<ping|traces|stats|health|drain|submit|status|result|run> "
+      "<ping|traces|stats|metrics|health|drain|submit|status|result|run> "
       "[--host=127.0.0.1] [--port=7421] [--retries=N] [--backoff-ms=MS] "
-      "[--flags]\n"
+      "[--token=SECRET] [--flags]\n"
       "  submit/run job flags: --benchmark --frontend=exec|trace --scheme "
       "--cleaning-policy --interval --decay-threshold --entries "
       "--instructions --warmup --seed --maintain-codes --trace --timeout-ms\n"
@@ -196,22 +202,37 @@ int run_command(server::Client& client, const CliArgs& args,
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  std::string cmd = argv[1];
   if (cmd == "help" || cmd == "--help") {
     usage();
     return 0;
   }
-  const CliArgs args = parse_cli_or_exit(argc - 1, argv + 1);
+  // `aeep_client --metrics` is the documented spelling for "dump the
+  // server's telemetry"; normalise it to the metrics command.
+  int arg_offset = 1;
+  if (cmd == "--metrics") {
+    cmd = "metrics";
+  } else if (cmd.rfind("--", 0) == 0) {
+    // A flag where the command should be: let parse_cli see it and fail
+    // with the usual unknown-flag message via check_flags below.
+    arg_offset = 0;
+    cmd = "";
+  }
+  const CliArgs args =
+      parse_cli_or_exit(argc - arg_offset, argv + arg_offset);
   const std::string host = args.get("host", "127.0.0.1");
   const u16 port = static_cast<u16>(args.get_u64("port", 7421));
   const unsigned retries =
       static_cast<unsigned>(args.get_u64("retries", 0));
   const u64 backoff_ms = args.get_u64("backoff-ms", 100);
+  const std::string token = args.get("token", "");
   OutputOptions out;
   out.quiet = args.get_bool("quiet", false);
   out.field = args.get("field", "");
+  if (cmd.empty()) return usage();
   try {
     server::Client client = connect_or_exit(host, port, retries, backoff_ms);
+    if (!token.empty()) client.set_token(token);
     if (cmd == "ping") {
       check_flags(args);
       return print_reply(client.ping(), out);
@@ -222,6 +243,9 @@ int main(int argc, char** argv) {
     } else if (cmd == "stats") {
       check_flags(args);
       return print_reply(client.stats(), out);
+    } else if (cmd == "metrics") {
+      check_flags(args);
+      return print_reply(client.metrics(), out);
     } else if (cmd == "health") {
       check_flags(args);
       return print_reply(client.health(), out);
@@ -254,6 +278,7 @@ int main(int argc, char** argv) {
       case server::ServerErrorKind::kBusy: return 3;
       case server::ServerErrorKind::kNotFound: return 4;
       case server::ServerErrorKind::kTimeout: return 5;
+      case server::ServerErrorKind::kUnauthorized: return 7;
       default: return 1;
     }
   }

@@ -136,6 +136,7 @@ int main(int argc, char** argv) {
       args.get_u64("probe-timeout-ms", cfg.probe_timeout_ms);
   cfg.local_jobs = static_cast<unsigned>(args.get_u64("local-jobs", o.jobs));
   const std::string store_dir = args.get("store", "");
+  cfg.token = args.get("token", "");
   cfg.store_dir = store_dir;
   bench::reject_unknown_flags(args);
 

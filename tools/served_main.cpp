@@ -16,7 +16,11 @@
 // .aeept files clients may name), --access-log (file; "-" = stderr),
 // --access-log-max-bytes (rotate the log to .1 past this size; 0 = never),
 // --store (result-store directory: submits whose content digest hits the
-// store are answered from cache without touching the sweep pool).
+// store are answered from cache without touching the sweep pool),
+// --metrics-log-every (write a per-stage histogram summary line to the
+// access log every N terminal jobs; 0 = only at drain), --token (shared
+// secret: every request except ping must carry it or is refused
+// "unauthorized").
 #include <csignal>
 #include <cstdio>
 #include <thread>
@@ -54,6 +58,9 @@ int main(int argc, char** argv) {
   cfg.access_log_max_bytes =
       args.get_u64("access-log-max-bytes", cfg.access_log_max_bytes);
   cfg.store_dir = args.get("store", "");
+  cfg.metrics_log_every =
+      args.get_u64("metrics-log-every", cfg.metrics_log_every);
+  cfg.token = args.get("token", "");
   const auto unused = args.unused();
   if (!unused.empty()) {
     std::fprintf(stderr, "unknown flag(s):");
